@@ -1,0 +1,24 @@
+"""Fig. 1 — communication temporal locality.
+
+Paper: crossbar-connection locality (~31% average) exceeds end-to-end
+locality (~22% average), motivating reuse at crossbar granularity.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig1
+from repro.harness.figures import QUICK_BENCHMARKS
+
+
+def test_fig01_locality(benchmark):
+    rows = run_once(benchmark, fig1, benchmarks=QUICK_BENCHMARKS,
+                    cycles=1500)
+    avg = rows[-1]
+    assert avg["benchmark"] == "average"
+    # Crossbar-connection locality must dominate end-to-end locality.
+    assert avg["xbar_locality"] > avg["e2e_locality"]
+    # Both localities are substantial, as in the paper.
+    assert avg["e2e_locality"] > 0.10
+    assert avg["xbar_locality"] > 0.25
+    for row in rows[:-1]:
+        assert row["xbar_locality"] >= row["e2e_locality"]

@@ -1,0 +1,18 @@
+"""Fig. 6 — router pipeline stages / per-hop delay.
+
+Paper: per-hop router delay of a head flit on a warm connection is 3 cycles
+baseline (BW | VA+SA | ST), 2 with a pseudo-circuit (SA skipped), 1 with
+buffer bypassing on top; plus 1 cycle of link traversal each.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig6
+
+
+def test_fig06_per_hop_delay(benchmark):
+    rows = run_once(benchmark, fig6)
+    by_scheme = {r["scheme"]: r["per_hop_cycles"] for r in rows}
+    assert by_scheme["Baseline"] == 4  # 3 router cycles + 1 link cycle
+    assert by_scheme["Pseudo"] == 3
+    assert by_scheme["Pseudo+S+B"] == 2

@@ -1,0 +1,28 @@
+"""Fig. 8 — overall performance and reusability on benchmark traces.
+
+Paper: the pseudo-circuit scheme with both aggressive extensions improves
+network performance by ~16% on average over the best baseline; buffer
+bypassing contributes most of the gain beyond the basic scheme, while
+speculation's contribution is small; reusability is substantial and rises
+with speculation.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig8
+from repro.harness.figures import QUICK_BENCHMARKS
+
+
+def test_fig08_overall(benchmark):
+    rows = run_once(benchmark, fig8, benchmarks=QUICK_BENCHMARKS,
+                    trace_cycles=2000)
+    avg = rows[-1]
+    assert avg["benchmark"] == "average"
+    # The full scheme wins over the best baseline on average.
+    assert avg["reduction_Pseudo+S+B"] > 0.0
+    # Buffer bypassing adds on top of the basic scheme.
+    assert avg["reduction_Pseudo+S+B"] >= avg["reduction_Pseudo"]
+    assert avg["reduction_Pseudo+B"] >= avg["reduction_Pseudo"]
+    # Reusability is substantial and speculation increases it.
+    assert avg["reuse_Pseudo"] > 0.15
+    assert avg["reuse_Pseudo+S"] >= avg["reuse_Pseudo"]

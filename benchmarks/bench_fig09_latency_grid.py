@@ -1,0 +1,36 @@
+"""Fig. 9 — latency reduction across routing algorithms and VA policies.
+
+Paper: DOR (XY/YX) with static VA yields the best latency reduction;
+YX+static reaches slightly higher reusability but less reduction than
+XY+static due to traffic concentration.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig9
+
+GRID_BENCHMARKS = ("fma3d", "specjbb", "radix")
+
+
+def _avg_reduction(rows, routing, va, scheme="Pseudo+S+B"):
+    vals = [r["reduction"] for r in rows
+            if r["routing"] == routing and r["va"] == va
+            and r["scheme"] == scheme]
+    return sum(vals) / len(vals)
+
+
+def test_fig09_latency_grid(benchmark):
+    rows = run_once(benchmark, fig9, benchmarks=GRID_BENCHMARKS,
+                    trace_cycles=2000)
+    assert len(rows) == len(GRID_BENCHMARKS) * 3 * 2 * 4
+    # DOR + static VA achieves the best (same-configuration) reduction.
+    xy_static = _avg_reduction(rows, "xy", "static")
+    assert xy_static > 0.05
+    assert xy_static >= _avg_reduction(rows, "o1turn", "dynamic")
+    assert xy_static >= _avg_reduction(rows, "o1turn", "static")
+    # YX + static loses to XY + static on latency (traffic concentration).
+    assert xy_static >= _avg_reduction(rows, "yx", "static") - 0.02
+    # Every combination benefits from the full scheme on average.
+    for routing in ("xy", "yx", "o1turn"):
+        for va in ("static", "dynamic"):
+            assert _avg_reduction(rows, routing, va) > 0.0

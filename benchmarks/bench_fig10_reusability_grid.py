@@ -1,0 +1,38 @@
+"""Fig. 10 — pseudo-circuit reusability across routing and VA policies.
+
+Paper: DOR with static VA maximizes reusability (same output port and VC
+for flows to the same destination); dynamic VA and O1TURN reduce it;
+routing/VA policy has a larger impact on reusability than application
+locality does.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig10
+
+GRID_BENCHMARKS = ("fma3d", "specjbb", "radix")
+
+
+def _avg_reuse(rows, routing, va, scheme="Pseudo+S"):
+    vals = [r["reusability"] for r in rows
+            if r["routing"] == routing and r["va"] == va
+            and r["scheme"] == scheme]
+    return sum(vals) / len(vals)
+
+
+def test_fig10_reusability_grid(benchmark):
+    rows = run_once(benchmark, fig10, benchmarks=GRID_BENCHMARKS,
+                    trace_cycles=2000)
+    for routing in ("xy", "yx"):
+        # Static VA beats dynamic VA on reusability for DOR.
+        assert _avg_reuse(rows, routing, "static") > \
+            _avg_reuse(rows, routing, "dynamic")
+        # DOR + static beats O1TURN with either policy.
+        assert _avg_reuse(rows, routing, "static") > \
+            _avg_reuse(rows, "o1turn", "dynamic")
+    # Speculation raises reusability over the basic scheme everywhere.
+    for routing in ("xy", "yx", "o1turn"):
+        for va in ("static", "dynamic"):
+            basic = _avg_reuse(rows, routing, va, "Pseudo")
+            spec = _avg_reuse(rows, routing, va, "Pseudo+S")
+            assert spec >= basic

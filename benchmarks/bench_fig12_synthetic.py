@@ -1,0 +1,40 @@
+"""Fig. 12 — synthetic workload traffic (UR / BC / BP on an 8x8 mesh).
+
+Paper: at any load before saturation the pseudo-circuit scheme beats the
+baseline; at low load UR and BP improve ~11% and BC ~6%; BC saturates
+earlier than UR (longer Manhattan distance) and BP earliest (diagonal
+crossing under DOR).
+"""
+
+from conftest import run_once
+
+from repro.harness import fig12
+
+LOW, HIGH = 0.05, 0.15
+
+
+def _lat(rows, pattern, load, scheme):
+    for r in rows:
+        if (r["pattern"] == pattern and r["load"] == load
+                and r["scheme"] == scheme):
+            return r["latency"]
+    raise KeyError((pattern, load, scheme))
+
+
+def test_fig12_synthetic(benchmark):
+    rows = run_once(benchmark, fig12, loads=(LOW, HIGH), cycles=900)
+    for pattern in ("uniform", "bitcomp", "transpose"):
+        for load in (LOW, HIGH):
+            base = _lat(rows, pattern, load, "Baseline")
+            full = _lat(rows, pattern, load, "Pseudo+S+B")
+            basic = _lat(rows, pattern, load, "Pseudo")
+            # Pseudo wins before saturation, and the full scheme wins more.
+            assert basic < base
+            assert full <= basic
+    # Low-load improvement is substantial (paper: ~6-11%).
+    ur_gain = 1 - _lat(rows, "uniform", LOW, "Pseudo+S+B") / \
+        _lat(rows, "uniform", LOW, "Baseline")
+    assert ur_gain > 0.05
+    # BC suffers from longer distance: higher latency than UR at equal load.
+    assert _lat(rows, "bitcomp", LOW, "Baseline") > \
+        _lat(rows, "uniform", LOW, "Baseline")

@@ -1,0 +1,32 @@
+"""Fig. 13 — impact on various topologies (mesh, cmesh, MECS, FBFLY).
+
+Paper: the pseudo-circuit scheme reduces per-hop delay regardless of the
+topology (up to ~20% in any topology); combining it with low-diameter
+topologies compounds, giving a large total reduction versus the baseline
+mesh.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig13
+
+
+def _lat(rows, topo, scheme):
+    for r in rows:
+        if r["topology"] == topo and r["scheme"] == scheme:
+            return r["latency"]
+    raise KeyError((topo, scheme))
+
+
+def test_fig13_topologies(benchmark):
+    rows = run_once(benchmark, fig13, benchmark="fma3d", trace_cycles=1500)
+    for topo in ("mesh", "cmesh", "mecs", "fbfly"):
+        base = _lat(rows, topo, "Baseline")
+        full = _lat(rows, topo, "Pseudo+S+B")
+        # Pseudo-circuits help on every topology.
+        assert full < base, topo
+    # Low-diameter topologies beat the mesh baseline, and adding the
+    # pseudo-circuit scheme compounds the reduction.
+    mesh_base = _lat(rows, "mesh", "Baseline")
+    for topo in ("cmesh", "mecs", "fbfly"):
+        assert _lat(rows, topo, "Pseudo+S+B") < 0.6 * mesh_base

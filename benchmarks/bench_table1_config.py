@@ -1,0 +1,21 @@
+"""Table I — CMP configuration parameters."""
+
+from conftest import run_once
+
+from repro.cmp import CmpConfig
+from repro.harness import table1
+
+
+def test_table1_config(benchmark):
+    rows = run_once(benchmark, table1)
+    table = dict(rows)
+    assert table["# Cores"] == "32 out-of-order"
+    assert table["L1D Cache"] == "4-way 32KB"
+    assert table["L1I Cache"] == "1-way 32KB"
+    assert table["Cache Block Size"] == "64B"
+    assert table["Unified L2 Cache"] == "16-way 16MB"
+    assert table["Memory Latency"] == "300 cycles"
+    assert table["MSHRs / core"] == "4"
+    assert table["Clock Frequency"] == "5GHz"
+    # 16MB over 32 banks = 512KB per bank.
+    assert CmpConfig().l2_bank_size == 512 * 1024

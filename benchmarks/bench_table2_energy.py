@@ -1,0 +1,20 @@
+"""Table II — energy consumption characteristics of router components.
+
+Paper (Orion at 45nm): buffer 23.4%, crossbar 76.22% (6.38 pJ), arbiter
+0.24% of the energy of one flit hop.
+"""
+
+from conftest import run_once
+
+from repro.harness import table2
+
+
+def test_table2_energy(benchmark):
+    rows = run_once(benchmark, table2)
+    shares = {r["component"]: r["share"] for r in rows}
+    pj = {r["component"]: r["pj_per_hop"] for r in rows}
+    assert abs(shares["buffer"] - 0.234) < 0.002
+    assert abs(shares["crossbar"] - 0.7622) < 0.002
+    assert abs(shares["arbiter"] - 0.0024) < 0.001
+    assert abs(pj["crossbar"] - 6.38) < 1e-9
+    assert abs(sum(shares.values()) - 1.0) < 1e-9

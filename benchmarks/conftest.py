@@ -1,0 +1,18 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each bench regenerates one paper table/figure at a reduced scale (short
+traces, subset of benchmarks) so the whole suite finishes in minutes, and
+asserts the *shape* of the paper's result. EXPERIMENTS.md records the
+paper-vs-measured comparison from a full run.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def run_once(bench_fixture, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return bench_fixture.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)

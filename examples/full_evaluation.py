@@ -1,0 +1,51 @@
+"""Full evaluation: regenerate every table and figure of the paper.
+
+Runs the complete per-figure harness at a fuller scale than the quick
+bench suite (all 13 benchmark profiles, longer traces). Expect this to
+take tens of minutes; pass --quick for the reduced scale.
+
+Run:  python examples/full_evaluation.py [--quick]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness import (fig1, fig6, fig8, fig9, fig10, fig11, fig12,
+                           fig13, fig14, table1, table2)
+from repro.harness.figures import QUICK_BENCHMARKS
+from repro.traffic import BENCHMARKS
+
+
+def main():
+    quick = "--quick" in sys.argv
+    benches = QUICK_BENCHMARKS if quick else BENCHMARKS
+    grid_benches = ("fma3d", "specjbb", "radix") if quick else BENCHMARKS
+    cycles = 1500 if quick else 3000
+
+    for name, call in [
+            ("Table I", lambda: table1()),
+            ("Table II", lambda: table2()),
+            ("Fig. 1", lambda: fig1(benchmarks=benches, cycles=cycles)),
+            ("Fig. 6", lambda: fig6()),
+            ("Fig. 8", lambda: fig8(benchmarks=benches,
+                                    trace_cycles=cycles)),
+            ("Fig. 9", lambda: fig9(benchmarks=grid_benches,
+                                    trace_cycles=cycles)),
+            ("Fig. 10", lambda: fig10(benchmarks=grid_benches,
+                                      trace_cycles=cycles)),
+            ("Fig. 11", lambda: fig11(benchmarks=grid_benches,
+                                      trace_cycles=cycles)),
+            ("Fig. 12", lambda: fig12(cycles=800 if quick else 1500)),
+            ("Fig. 13", lambda: fig13(trace_cycles=cycles)),
+            ("Fig. 14", lambda: fig14(trace_cycles=cycles)),
+    ]:
+        start = time.time()
+        call()
+        print(f"[{name} done in {time.time() - start:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Topology study: pseudo-circuits on mesh, cmesh, MECS and FBFLY.
+
+Shows the Section VII.A result: low-diameter topologies cut the hop count,
+pseudo-circuits cut the per-hop delay, and the two compose. Also contrasts
+with Express Virtual Channels, whose benefit is topology-dependent.
+
+Run:  python examples/topology_study.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import BASELINE, PSEUDO_SB
+from repro.harness import fig13, fig14, print_table
+
+
+def main():
+    rows = fig13(benchmark="fma3d", trace_cycles=2000, show=False)
+    table = []
+    for topo in ("mesh", "cmesh", "mecs", "fbfly"):
+        base = next(r for r in rows if r["topology"] == topo
+                    and r["scheme"] == BASELINE.label)
+        full = next(r for r in rows if r["topology"] == topo
+                    and r["scheme"] == PSEUDO_SB.label)
+        table.append((topo, base["latency"], full["latency"],
+                      1 - full["latency"] / base["latency"],
+                      full["reusability"]))
+    print_table("Pseudo-circuits across topologies (fma3d trace)",
+                ["topology", "baseline", "Pseudo+S+B", "reduction", "reuse"],
+                table)
+
+    rows = fig14(benchmark="fma3d", trace_cycles=2000, show=False)
+    print_table("Express Virtual Channels comparison",
+                ["topology", "scheme", "normalized latency"],
+                [(r["topology"], r["scheme"], r["normalized"])
+                 for r in rows])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — reproduction of "Pseudo-Circuit: Accelerating Communication for
+On-Chip Interconnection Networks" (Ahn & Kim, MICRO 2010).
+
+Public API quick tour::
+
+    from repro import (Mesh, NetworkConfig, Network, SyntheticTraffic,
+                       PSEUDO_SB)
+
+    topo = Mesh(8, 8)
+    net = Network(topo, NetworkConfig(pseudo=PSEUDO_SB),
+                  routing="xy", vc_policy="static")
+    net.run(10_000, SyntheticTraffic("uniform", topo.num_terminals, 0.1))
+    print(net.stats.avg_latency, net.stats.reusability)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every figure and table.
+"""
+
+from .network import (ALL_SCHEMES, BASELINE, PC_SCHEMES, PSEUDO, PSEUDO_B,
+                      PSEUDO_S, PSEUDO_SB, Network, NetworkConfig, Packet,
+                      PseudoCircuitConfig, build_network)
+from .topology import (ConcentratedMesh, FlattenedButterfly, Mecs, Mesh,
+                       make_topology)
+from .traffic import SyntheticTraffic
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_SCHEMES",
+    "BASELINE",
+    "ConcentratedMesh",
+    "FlattenedButterfly",
+    "Mecs",
+    "Mesh",
+    "Network",
+    "NetworkConfig",
+    "PC_SCHEMES",
+    "PSEUDO",
+    "PSEUDO_B",
+    "PSEUDO_S",
+    "PSEUDO_SB",
+    "Packet",
+    "PseudoCircuitConfig",
+    "SyntheticTraffic",
+    "build_network",
+    "make_topology",
+    "__version__",
+]

@@ -1,0 +1,122 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``fig1 .. fig14, table1, table2`` — regenerate one paper figure/table;
+* ``all`` — regenerate everything (reduced scale);
+* ``run`` — one ad-hoc experiment, e.g.::
+
+      python -m repro run --topology mesh --kx 8 --ky 8 \\
+          --routing xy --va static --scheme pseudo_sb \\
+          --pattern uniform --rate 0.1
+
+* ``sweep`` — sensitivity sweeps (``--kind vcs|buffers|load``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness.experiment import ExperimentConfig, run_experiment
+from .harness.figures import ALL_FIGURES
+from .harness.report import print_table
+from .harness.sweep import sweep_buffer_depth, sweep_load, sweep_vcs
+from .network.config import (ALL_SCHEMES, BASELINE, PSEUDO, PSEUDO_B,
+                             PSEUDO_S, PSEUDO_SB)
+
+SCHEMES = {"baseline": BASELINE, "pseudo": PSEUDO, "pseudo_s": PSEUDO_S,
+           "pseudo_b": PSEUDO_B, "pseudo_sb": PSEUDO_SB}
+
+
+def _cmd_figure(name: str) -> int:
+    ALL_FIGURES[name]()
+    return 0
+
+
+def _cmd_all() -> int:
+    for name in ALL_FIGURES:
+        ALL_FIGURES[name]()
+    return 0
+
+
+def _cmd_run(args) -> int:
+    common = dict(topology=args.topology, kx=args.kx, ky=args.ky,
+                  concentration=args.concentration, routing=args.routing,
+                  vc_policy=args.va, seed=args.seed)
+    if args.benchmark:
+        cfg = ExperimentConfig(benchmark=args.benchmark,
+                               trace_cycles=args.cycles, **common)
+    else:
+        cfg = ExperimentConfig(pattern=args.pattern, rate=args.rate,
+                               synth_cycles=args.cycles,
+                               synth_warmup=args.cycles // 4, **common)
+    rows = []
+    schemes = (ALL_SCHEMES if args.scheme == "all"
+               else [SCHEMES[args.scheme]])
+    for scheme in schemes:
+        res = run_experiment(cfg.with_scheme(scheme))
+        rows.append((scheme.label, res.avg_latency, res.reusability,
+                     res.buffer_bypass_rate,
+                     res.energy_pj / max(1, res.flit_hops)))
+    print_table(cfg.label,
+                ["scheme", "latency", "reuse", "buf bypass", "pJ/hop"], rows)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    sweeps = {"vcs": (sweep_vcs, "num_vcs"),
+              "buffers": (sweep_buffer_depth, "buffer_depth"),
+              "load": (sweep_load, "load")}
+    fn, key = sweeps[args.kind]
+    rows = fn()
+    print_table(f"sensitivity sweep: {args.kind}",
+                [key, "baseline", "Pseudo+S+B", "reduction", "reuse"],
+                [(r[key], r["baseline_latency"], r["latency"],
+                  r["reduction"], r["reusability"]) for r in rows])
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Pseudo-Circuit reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in ALL_FIGURES:
+        sub.add_parser(name, help=f"regenerate {name}")
+    sub.add_parser("all", help="regenerate every figure and table")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("--topology", default="mesh",
+                       choices=["mesh", "cmesh", "fbfly", "mecs",
+                                "evc_mesh"])
+    run_p.add_argument("--kx", type=int, default=8)
+    run_p.add_argument("--ky", type=int, default=8)
+    run_p.add_argument("--concentration", type=int, default=1)
+    run_p.add_argument("--routing", default="xy",
+                       choices=["xy", "yx", "o1turn"])
+    run_p.add_argument("--va", default="dynamic",
+                       choices=["dynamic", "static"])
+    run_p.add_argument("--scheme", default="all",
+                       choices=["all"] + sorted(SCHEMES))
+    run_p.add_argument("--pattern", default="uniform")
+    run_p.add_argument("--rate", type=float, default=0.1)
+    run_p.add_argument("--benchmark", default=None)
+    run_p.add_argument("--cycles", type=int, default=1500)
+    run_p.add_argument("--seed", type=int, default=1)
+
+    sweep_p = sub.add_parser("sweep", help="sensitivity sweeps")
+    sweep_p.add_argument("--kind", default="load",
+                         choices=["vcs", "buffers", "load"])
+
+    args = parser.parse_args(argv)
+    if args.command in ALL_FIGURES:
+        return _cmd_figure(args.command)
+    if args.command == "all":
+        return _cmd_all()
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_sweep(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Per-core synthetic address streams driven by a benchmark profile.
+
+A stream produces block-level accesses with controllable:
+
+* word-granularity spatial locality — each 64B block is touched several
+  times (mean ``ACCESSES_PER_BLOCK``) before the stream moves on, so
+  streaming code still hits in the L1 on all but the first touch;
+* block-granularity spatial locality — sequential runs of ``run_len``
+  blocks (one home bank per page under S-NUCA page interleaving);
+* temporal locality — with probability ``reuse_prob`` the stream revisits
+  one of the last ``reuse_window`` blocks;
+* sharing — a fraction of accesses lands in a region visited by every core
+  (cross-core reuse and invalidation traffic);
+* bank skew — Zipf-distributed popularity across L2 banks for SPECjbb-style
+  network hotspots.
+
+Address layout: the shared region occupies low block addresses; each core's
+private region starts at ``(core_id + 1) * PRIVATE_STRIDE``. The home bank
+of a block is ``(block >> interleave_shift) % num_banks``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..traffic.benchmarks import BenchmarkProfile
+
+PRIVATE_STRIDE = 1 << 24   # blocks between per-core private regions
+ACCESSES_PER_BLOCK = 8.0   # mean word-level touches per 64B block
+
+
+class AddressStream:
+    """Deterministic, profile-shaped stream of (block, is_write) accesses."""
+
+    def __init__(self, profile: BenchmarkProfile, core_id: int,
+                 num_banks: int, seed: int, interleave_shift: int = 6):
+        self.profile = profile
+        self.core_id = core_id
+        self.num_banks = num_banks
+        self.interleave_shift = interleave_shift
+        self.rng = random.Random((seed << 8) ^ core_id)
+        self._block = -1
+        self._block_left = 0   # remaining touches of the current block
+        self._run_left = 0     # remaining blocks of the current run
+        self._recent: list[int] = []
+        self._bank_weights = self._make_bank_weights()
+
+    def _make_bank_weights(self) -> list[float] | None:
+        skew = self.profile.bank_skew
+        if skew <= 0.0:
+            return None
+        # Zipf popularity over banks; ranks permuted by a benchmark-level
+        # hash so the hot banks are fixed per benchmark, not per core.
+        ranks = list(range(self.num_banks))
+        random.Random(sum(map(ord, self.profile.name))).shuffle(ranks)
+        return [1.0 / (rank + 1) ** skew for rank in ranks]
+
+    # -- address generation ----------------------------------------------------
+
+    def next_access(self) -> tuple[int, bool]:
+        """Return (block address, is_write)."""
+        rng = self.rng
+        is_write = rng.random() >= self.profile.read_frac
+        if self._block_left > 0:
+            self._block_left -= 1
+        elif self._run_left > 0:
+            self._run_left -= 1
+            self._block += 1
+            self._touch_block()
+        elif self._recent and rng.random() < self.profile.reuse_prob:
+            self._block = rng.choice(self._recent)
+            self._touch_block()
+        else:
+            self._block = self._new_block()
+            self._run_left = self._run_blocks()
+            self._touch_block()
+        self._remember(self._block)
+        return self._block, is_write
+
+    def _touch_block(self) -> None:
+        self._block_left = rng_geometric(self.rng, ACCESSES_PER_BLOCK) - 1
+
+    def _run_blocks(self) -> int:
+        mean = self.profile.run_len
+        if mean <= 1.0:
+            return 0
+        return min(64, rng_geometric(self.rng, mean) - 1)
+
+    def _new_block(self) -> int:
+        rng = self.rng
+        ws = self.profile.working_set_blocks
+        if rng.random() < self.profile.shared_frac:
+            return self._shared_block(ws)
+        return (self.core_id + 1) * PRIVATE_STRIDE + rng.randrange(ws)
+
+    def _shared_block(self, ws: int) -> int:
+        if self._bank_weights is None:
+            return self.rng.randrange(ws)
+        # Pick a hot bank, then a shared-region block homed at that bank.
+        bank = self.rng.choices(range(self.num_banks),
+                                weights=self._bank_weights)[0]
+        page_blocks = 1 << self.interleave_shift
+        pages = max(1, ws // (page_blocks * self.num_banks))
+        page = self.rng.randrange(pages)
+        offset = self.rng.randrange(page_blocks)
+        return ((page * self.num_banks + bank) << self.interleave_shift) \
+            + offset
+
+    def _remember(self, block: int) -> None:
+        recent = self._recent
+        if not recent or recent[-1] != block:
+            recent.append(block)
+            if len(recent) > self.profile.reuse_window:
+                recent.pop(0)
+
+    def home_bank(self, block: int) -> int:
+        return (block >> self.interleave_shift) % self.num_banks
+
+
+def rng_geometric(rng: random.Random, mean: float) -> int:
+    """Geometric variate on {1, 2, ...} with the given mean."""
+    if mean <= 1.0:
+        return 1
+    p = 1.0 / mean
+    u = rng.random()
+    return max(1, int(math.ceil(math.log(1.0 - u) / math.log(1.0 - p))))

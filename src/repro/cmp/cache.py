@@ -1,0 +1,75 @@
+"""Set-associative cache model with LRU replacement.
+
+Operates on *block addresses* (byte address // block size); data values are
+not modeled, only presence, which is all the coherence traffic generation
+needs. Used for the L1s; L2 banks are modeled with the directory plus a
+profile-driven miss rate (a full 16MB L2 content model would dominate the
+simulation without changing the traffic shape the paper's technique sees).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over block addresses."""
+
+    def __init__(self, size_bytes: int, assoc: int, block_size: int):
+        if size_bytes % (assoc * block_size):
+            raise ValueError("cache size must be a multiple of way size")
+        self.assoc = assoc
+        self.block_size = block_size
+        self.num_sets = size_bytes // (assoc * block_size)
+        if self.num_sets < 1:
+            raise ValueError("cache has no sets")
+        # Each set maps block -> None in LRU order (leftmost = LRU).
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_for(self, block: int) -> OrderedDict:
+        return self._sets[block % self.num_sets]
+
+    def lookup(self, block: int) -> bool:
+        """Probe (updates LRU and hit/miss counters)."""
+        way = self._set_for(block)
+        if block in way:
+            way.move_to_end(block)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, block: int) -> bool:
+        """Probe without side effects."""
+        return block in self._set_for(block)
+
+    def fill(self, block: int) -> int | None:
+        """Insert ``block``; returns the evicted block, if any."""
+        way = self._set_for(block)
+        if block in way:
+            way.move_to_end(block)
+            return None
+        victim = None
+        if len(way) >= self.assoc:
+            victim, _ = way.popitem(last=False)
+        way[block] = None
+        return victim
+
+    def invalidate(self, block: int) -> bool:
+        """Drop ``block``; returns True when it was present."""
+        way = self._set_for(block)
+        if block in way:
+            del way[block]
+            return True
+        return False
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(way) for way in self._sets)
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

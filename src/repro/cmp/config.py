@@ -1,0 +1,69 @@
+"""CMP configuration (paper Table I).
+
+32 out-of-order cores and 32 L2 cache banks (S-NUCA, address-interleaved)
+share a 4x4 concentrated-mesh on-chip network; each router connects 2 cores
+and 2 L2 banks. Each core has 32KB L1 caches and 4 MSHRs (lockup-free,
+self-throttling). The coherence protocol is directory-based MSI simplified
+to write-through + write-invalidation, exactly as in Section V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CmpConfig:
+    """Table I parameters (sizes in bytes, latencies in cycles)."""
+
+    num_cores: int = 32
+    num_l2_banks: int = 32
+    l1i_size: int = 32 * 1024
+    l1i_assoc: int = 1
+    l1d_size: int = 32 * 1024
+    l1d_assoc: int = 4
+    l1_latency: int = 1
+    block_size: int = 64
+    l2_size: int = 16 * 1024 * 1024   # unified, 16-way, 512KB per bank
+    l2_assoc: int = 16
+    l2_bank_latency: int = 10
+    memory_latency: int = 300
+    mshrs_per_core: int = 4
+    clock_ghz: float = 5.0
+    # Network packet sizes (Section V): address-only = 1 flit; address +
+    # 64B data block over a 128-bit link = 5 flits.
+    ctrl_packet_flits: int = 1
+    data_packet_flits: int = 5
+    # S-NUCA address interleaving granularity in blocks (log2). 6 means
+    # 64-block (4KB page) interleaving: a sequential run stays on one home
+    # bank for a page, which is what gives CMP traffic the pairwise
+    # temporal locality Fig. 1 measures.
+    interleave_shift: int = 6
+
+    def __post_init__(self):
+        if self.num_cores < 1 or self.num_l2_banks < 1:
+            raise ValueError("need at least one core and one L2 bank")
+        if self.block_size & (self.block_size - 1):
+            raise ValueError("block_size must be a power of two")
+
+    @property
+    def l2_bank_size(self) -> int:
+        return self.l2_size // self.num_l2_banks
+
+    def as_table(self) -> list[tuple[str, str]]:
+        """Rows of Table I, for the bench that regenerates it."""
+        return [
+            ("# Cores", f"{self.num_cores} out-of-order"),
+            ("# L2 Banks",
+             f"{self.num_l2_banks} x {self.l2_bank_size // 1024}KB bank"),
+            ("L1I Cache", f"{self.l1i_assoc}-way {self.l1i_size // 1024}KB"),
+            ("L1D Cache", f"{self.l1d_assoc}-way {self.l1d_size // 1024}KB"),
+            ("L1 Latency", f"{self.l1_latency} cycle"),
+            ("Cache Block Size", f"{self.block_size}B"),
+            ("Unified L2 Cache",
+             f"{self.l2_assoc}-way {self.l2_size // (1024 * 1024)}MB"),
+            ("L2 Bank Latency", f"{self.l2_bank_latency} cycles"),
+            ("Memory Latency", f"{self.memory_latency} cycles"),
+            ("MSHRs / core", str(self.mshrs_per_core)),
+            ("Clock Frequency", f"{self.clock_ghz:g}GHz"),
+        ]

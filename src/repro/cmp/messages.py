@@ -1,0 +1,29 @@
+"""Coherence message vocabulary (paper Section V).
+
+Three transaction types: read (L1 read miss), write (write-through store)
+and coherence management (invalidations keeping shared copies coherent).
+Address-only messages are 1 flit; messages carrying a 64B data block are 5
+flits.
+"""
+
+from __future__ import annotations
+
+from .config import CmpConfig
+
+READ_REQ = "read_req"      # core -> home bank, address only
+READ_RESP = "read_resp"    # bank -> core, address + data block
+WRITE_REQ = "write_req"    # core -> home bank, address + store data (word)
+WRITE_ACK = "write_ack"    # bank -> core, address only
+INVAL = "inval"            # bank -> sharer core, address only
+INV_ACK = "inv_ack"        # sharer core -> bank, address only
+
+ALL_TYPES = (READ_REQ, READ_RESP, WRITE_REQ, WRITE_ACK, INVAL, INV_ACK)
+
+
+def message_flits(msg_type: str, config: CmpConfig) -> int:
+    """Packet size in flits for a message type."""
+    if msg_type == READ_RESP:
+        return config.data_packet_flits
+    if msg_type in ALL_TYPES:
+        return config.ctrl_packet_flits
+    raise ValueError(f"unknown message type {msg_type!r}")

@@ -1,0 +1,57 @@
+"""Miss Status Holding Registers (Kroft, ISCA 1981).
+
+A lockup-free cache keeps serving hits while misses are outstanding, but
+only ``capacity`` misses may be in flight; further misses stall the core.
+This is the self-throttling mechanism of the paper's CMP network (Section
+V): cores with 4 MSHRs stop injecting when the memory system backs up.
+Accesses to a block that already has an MSHR merge into it instead of
+issuing a duplicate request.
+"""
+
+from __future__ import annotations
+
+
+class MshrFile:
+    """Outstanding-miss tracking for one core."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("MSHR capacity must be >= 1")
+        self.capacity = capacity
+        # block -> list of merged accesses (is_write flags).
+        self._entries: dict[int, list[bool]] = {}
+        self.merges = 0
+        self.stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def outstanding(self, block: int) -> bool:
+        return block in self._entries
+
+    def allocate(self, block: int, is_write: bool) -> bool:
+        """Try to track a miss on ``block``.
+
+        Returns True when the access is covered (new entry or merged into an
+        existing one); False when every register is busy (core must stall).
+        """
+        entry = self._entries.get(block)
+        if entry is not None:
+            entry.append(is_write)
+            self.merges += 1
+            return True
+        if self.full:
+            self.stalls += 1
+            return False
+        self._entries[block] = [is_write]
+        return True
+
+    def release(self, block: int) -> list[bool]:
+        """Miss completed: return the merged accesses it satisfied."""
+        if block not in self._entries:
+            raise KeyError(f"no MSHR allocated for block {block:#x}")
+        return self._entries.pop(block)

@@ -1,0 +1,37 @@
+"""Buffer bypassing (paper Section IV.B).
+
+Flits traversing a pseudo-circuit would normally still spend one cycle being
+written into the input VC buffer. When the pseudo-circuit is already
+connected as a flit *arrives*, the flit can instead pass through a bypass
+latch straight to the crossbar, removing the buffer-write stage as well
+(per-hop router delay 3 -> 1 cycle) and skipping the buffer write+read
+energy. Implemented with write-through input buffers: the flit is latched,
+and because the buffer pointer never moves the buffer slot is never held —
+the credit returns immediately.
+
+``can_bypass`` is the pure eligibility predicate; occupancy of the crossbar
+ports and same-cycle SA-request conflicts are checked by the router, which
+owns that state.
+"""
+
+from __future__ import annotations
+
+from ..network.flit import Flit
+from .pseudo_circuit import PseudoCircuitRegister
+
+
+def can_bypass(reg: PseudoCircuitRegister, flit: Flit, vc: int,
+               out_port: int, buffer_empty: bool) -> bool:
+    """Is ``flit``, arriving on input VC ``vc`` and routed to ``out_port``,
+    allowed to skip the buffer write through the bypass latch?
+
+    Requirements per the paper: the pseudo-circuit must be valid and match
+    the flit (VC + routing info for heads, VC only for bodies/tails), and
+    the VC buffer must be empty — earlier flits must drain first or flit
+    order inside the VC would break.
+    """
+    if not buffer_empty:
+        return False
+    if flit.is_head:
+        return reg.matches_head(vc, out_port)
+    return reg.matches_body(vc)

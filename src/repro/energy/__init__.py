@@ -1,0 +1,5 @@
+"""Router energy accounting (Orion-style, paper Table II / Fig. 11)."""
+
+from .orion import DEFAULT_ENERGY_MODEL, EnergyModel
+
+__all__ = ["DEFAULT_ENERGY_MODEL", "EnergyModel"]

@@ -1,0 +1,23 @@
+"""Express Virtual Channels baseline (paper Section VII.B, Fig. 14)."""
+
+from ..network.config import NetworkConfig
+from ..network.simulator import Network
+from .routing import EvcRouting
+from .topology import EXPRESS_SPAN, EvcMesh
+
+__all__ = ["EXPRESS_SPAN", "EvcMesh", "EvcRouting", "build_evc_network"]
+
+
+def build_evc_network(kx: int, ky: int, concentration: int = 1,
+                      config: NetworkConfig | None = None,
+                      vc_policy: str = "dynamic", seed: int = 1,
+                      span: int = EXPRESS_SPAN) -> Network:
+    """An EVC mesh network (always runs the baseline router pipeline)."""
+    topo = EvcMesh(kx, ky, concentration, span=span)
+    cfg = config if config is not None else NetworkConfig()
+    if cfg.pseudo.enabled:
+        raise ValueError(
+            "the EVC comparison point uses the baseline router; combine "
+            "pseudo-circuits with a plain mesh instead (Fig. 14)")
+    return Network(topo, cfg, routing=EvcRouting(topo), vc_policy=vc_policy,
+                   seed=seed)

@@ -1,0 +1,75 @@
+"""Mesh with express virtual channels (Kumar et al., ISCA 2007).
+
+EVC lets packets virtually bypass the pipelines of intermediate routers
+within one dimension. We model the dynamic-EVC configuration the paper
+compares against (l_max = 2): alongside each mesh channel there are express
+paths that jump ``span`` routers in one dimension, passing through the
+intermediate router's bypass latch. In the model the express path is an
+extra channel whose wire latency covers both hops plus the one-cycle latch
+(span * link + 1 cycles of occupancy folded into the channel latency), and
+whose flits therefore skip the intermediate router's pipeline entirely —
+the intermediate crossbar is modeled as contention-free for express flits,
+a simplification that, if anything, favours EVC.
+
+Output/input port layout: E,W,N,S normal (0-3), then the express ports
+E2,W2,N2,S2 (4-7), then terminals.
+"""
+
+from __future__ import annotations
+
+from ..topology.base import Channel, Endpoint
+from ..topology.mesh import Mesh
+
+EXPRESS_SPAN = 2  # l_max of the paper's dynamic-EVC configuration
+
+
+class EvcMesh(Mesh):
+    """Mesh augmented with span-2 express channels."""
+
+    name = "evc_mesh"
+
+    def __init__(self, kx: int, ky: int, concentration: int = 1,
+                 span: int = EXPRESS_SPAN):
+        super().__init__(kx, ky, concentration)
+        if span < 2:
+            raise ValueError("express span must be >= 2")
+        self.span = span
+
+    def num_network_inports(self, router: int) -> int:
+        return 8
+
+    def num_network_outports(self, router: int) -> int:
+        return 8
+
+    def express_port(self, direction: int) -> int:
+        """Express output/input port for a normal direction (0-3)."""
+        if not 0 <= direction < 4:
+            raise ValueError(f"bad direction {direction}")
+        return 4 + direction
+
+    def express_neighbor(self, router: int, direction: int) -> int | None:
+        """Router ``span`` hops away in ``direction``, or None at the edge."""
+        node = router
+        for _ in range(self.span):
+            nxt = self.neighbor(node, direction)
+            if nxt is None:
+                return None
+            node = nxt
+        return node
+
+    def channels(self) -> list[Channel]:
+        out = super().channels()
+        for r in range(self.num_routers):
+            for d in range(4):
+                n = self.express_neighbor(r, d)
+                if n is None:
+                    continue
+                # span wire hops + 1 cycle in the intermediate bypass latch.
+                out.append(Channel(
+                    src_router=r,
+                    src_port=self.express_port(d),
+                    endpoints=(Endpoint(
+                        router=n,
+                        in_port=self.express_port(self.opposite(d)),
+                        latency=self.span + 1),)))
+        return out

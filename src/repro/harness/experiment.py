@@ -1,0 +1,158 @@
+"""Experiment runner: a declarative config -> a simulated network -> results.
+
+``ExperimentConfig`` captures everything the paper varies: topology,
+routing, VC allocation policy, pseudo-circuit scheme, and the traffic
+source (a benchmark trace or a synthetic pattern). ``run_experiment``
+builds the network, drives it, and returns a ``Result`` with the metrics
+every figure needs. Traces and completed runs are memoized per process so
+overlapping figures (e.g. Fig. 9 and Fig. 10 use the same grid of runs)
+pay for each simulation once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..energy import DEFAULT_ENERGY_MODEL
+from ..evc import EvcMesh, EvcRouting
+from ..network.config import NetworkConfig, PseudoCircuitConfig
+from ..network.simulator import Network
+from ..topology import make_topology
+from ..traffic.synthetic import SyntheticTraffic
+from ..traffic.trace import Trace, TraceReplayTraffic
+from .traces import get_trace
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One simulation point."""
+
+    # Network structure.
+    topology: str = "cmesh"
+    kx: int = 4
+    ky: int = 4
+    concentration: int = 4
+    routing: str = "o1turn"
+    vc_policy: str = "dynamic"
+    scheme: PseudoCircuitConfig = field(default_factory=PseudoCircuitConfig)
+    num_vcs: int = 4
+    buffer_depth: int = 4
+    # Traffic: either a benchmark trace or a synthetic pattern.
+    benchmark: str | None = None
+    trace_cycles: int = 2000
+    trace_warmup: int = 400
+    pattern: str | None = None
+    rate: float = 0.1
+    packet_size: int = 5
+    synth_cycles: int = 1500
+    synth_warmup: int = 300
+    mshrs: int = 4   # NIC self-throttling during trace replay
+    seed: int = 1
+
+    def __post_init__(self):
+        if (self.benchmark is None) == (self.pattern is None):
+            raise ValueError(
+                "configure exactly one of benchmark= or pattern=")
+
+    @property
+    def label(self) -> str:
+        traffic = self.benchmark or f"{self.pattern}@{self.rate:g}"
+        return (f"{self.topology}/{self.routing}/{self.vc_policy}/"
+                f"{self.scheme.label}/{traffic}")
+
+    def with_scheme(self, scheme: PseudoCircuitConfig) -> "ExperimentConfig":
+        return replace(self, scheme=scheme)
+
+
+@dataclass(frozen=True)
+class Result:
+    """Metrics extracted from one finished simulation."""
+
+    config: ExperimentConfig
+    avg_latency: float
+    avg_network_latency: float
+    avg_hops: float
+    reusability: float
+    buffer_bypass_rate: float
+    e2e_locality: float
+    xbar_locality: float
+    packets: int
+    flit_hops: int
+    energy_pj: float
+    energy_breakdown: dict
+    pc_restored: int
+
+    @classmethod
+    def from_network(cls, config: ExperimentConfig, net: Network) -> "Result":
+        stats = net.stats
+        energy = DEFAULT_ENERGY_MODEL.router_energy(stats)
+        return cls(
+            config=config,
+            avg_latency=stats.avg_latency,
+            avg_network_latency=stats.avg_network_latency,
+            avg_hops=stats.avg_hops,
+            reusability=stats.reusability,
+            buffer_bypass_rate=stats.buffer_bypass_rate,
+            e2e_locality=stats.e2e_locality,
+            xbar_locality=stats.xbar_locality,
+            packets=stats.measured_packets,
+            flit_hops=stats.flit_hops,
+            energy_pj=energy["total"],
+            energy_breakdown=energy,
+            pc_restored=stats.pc_restored,
+        )
+
+
+_run_cache: dict[ExperimentConfig, Result] = {}
+
+
+def build_network(config: ExperimentConfig) -> Network:
+    net_cfg = NetworkConfig(
+        num_vcs=config.num_vcs, buffer_depth=config.buffer_depth,
+        pseudo=config.scheme,
+        mshrs=config.mshrs if config.benchmark is not None else 0)
+    if config.topology == "evc_mesh":
+        topo = EvcMesh(config.kx, config.ky, config.concentration)
+        routing = EvcRouting(topo)
+        return Network(topo, net_cfg, routing=routing,
+                       vc_policy=config.vc_policy, seed=config.seed)
+    topo = make_topology(config.topology, config.kx, config.ky,
+                         config.concentration)
+    return Network(topo, net_cfg, routing=config.routing,
+                   vc_policy=config.vc_policy, seed=config.seed)
+
+
+def run_experiment(config: ExperimentConfig, *,
+                   use_cache: bool = True) -> Result:
+    """Simulate one configuration (memoized per process)."""
+    if use_cache and config in _run_cache:
+        return _run_cache[config]
+    net = build_network(config)
+    if config.benchmark is not None:
+        trace = get_trace(config.benchmark, cycles=config.trace_cycles,
+                          warmup=config.trace_warmup, seed=config.seed)
+        _replay(net, trace)
+    else:
+        traffic = SyntheticTraffic(config.pattern,
+                                   net.topology.num_terminals, config.rate,
+                                   config.packet_size, seed=config.seed)
+        net.stats.warmup_cycles = config.synth_warmup
+        net.run(config.synth_cycles, traffic)
+        net.drain(max_cycles=500_000)
+    net.check_invariants()
+    result = Result.from_network(config, net)
+    if use_cache:
+        _run_cache[config] = result
+    return result
+
+
+def _replay(net: Network, trace: Trace) -> None:
+    replay = TraceReplayTraffic(trace)
+    while not replay.exhausted:
+        replay.tick(net, net.cycle)
+        net.step()
+    net.drain(max_cycles=500_000)
+
+
+def clear_cache() -> None:
+    _run_cache.clear()

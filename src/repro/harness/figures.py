@@ -1,0 +1,381 @@
+"""Per-figure reproduction entry points.
+
+Each ``figN`` function regenerates the rows/series of one paper figure or
+table and returns them as plain data (list of dicts); with ``show=True`` it
+also prints an aligned table. Scale parameters (benchmark list, trace
+length, load points) default to values that finish quickly; pass larger
+ones for a full evaluation (see ``examples/full_evaluation.py``).
+
+Runs are memoized process-wide, so figures that share configurations
+(Figs. 9, 10 and 11 use the same grid) pay for each simulation once.
+"""
+
+from __future__ import annotations
+
+from ..cmp.config import CmpConfig
+from ..energy import DEFAULT_ENERGY_MODEL
+from ..network.config import (ALL_SCHEMES, BASELINE, PC_SCHEMES, PSEUDO_SB,
+                              NetworkConfig, PseudoCircuitConfig)
+from ..network.flit import Packet
+from ..network.simulator import Network
+from ..topology.mesh import Mesh
+from ..traffic.benchmarks import BENCHMARKS
+from .experiment import ExperimentConfig, Result, run_experiment
+from .report import print_table, reduction
+from .traces import get_cmp_run
+
+#: Benchmarks used by the reduced (bench-suite) figure runs.
+QUICK_BENCHMARKS = ("fma3d", "equake", "blackscholes", "specjbb", "fft",
+                    "radix")
+#: The best baseline configuration (paper Section VI.A).
+BEST_BASELINE = ("o1turn", "dynamic")
+#: The configuration used for the pseudo-circuit bars of Fig. 8 (the
+#: best-performing combination in our Fig. 9 grid).
+PSEUDO_CONFIG = ("xy", "dynamic")
+
+ROUTINGS = ("xy", "yx", "o1turn")
+VA_POLICIES = ("static", "dynamic")
+
+
+def _trace_config(benchmark: str, routing: str, va: str,
+                  scheme: PseudoCircuitConfig,
+                  trace_cycles: int, seed: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        topology="cmesh", kx=4, ky=4, concentration=4,
+        routing=routing, vc_policy=va, scheme=scheme,
+        benchmark=benchmark, trace_cycles=trace_cycles,
+        trace_warmup=max(200, trace_cycles // 5), seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1 — communication temporal locality
+# ---------------------------------------------------------------------------
+
+def fig1(benchmarks=QUICK_BENCHMARKS, cycles: int = 2000, seed: int = 1,
+         show: bool = True) -> list[dict]:
+    """End-to-end vs crossbar-connection temporal locality per benchmark."""
+    rows = []
+    for bench in benchmarks:
+        system = get_cmp_run(bench, cycles=cycles, seed=seed)
+        stats = system.network.stats
+        rows.append({"benchmark": bench,
+                     "e2e_locality": stats.e2e_locality,
+                     "xbar_locality": stats.xbar_locality})
+    avg = {"benchmark": "average",
+           "e2e_locality": sum(r["e2e_locality"] for r in rows) / len(rows),
+           "xbar_locality": sum(r["xbar_locality"] for r in rows) / len(rows)}
+    rows.append(avg)
+    if show:
+        print_table("Fig. 1: communication temporal locality",
+                    ["benchmark", "end-to-end", "crossbar connection"],
+                    [(r["benchmark"], r["e2e_locality"], r["xbar_locality"])
+                     for r in rows])
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — pipeline stages / per-hop router delay
+# ---------------------------------------------------------------------------
+
+def fig6(show: bool = True) -> list[dict]:
+    """Measured per-hop latency of a warmed flow under each pipeline.
+
+    Sends repeated single-flit packets along two east-west paths of
+    different length on an otherwise idle mesh; the per-hop delay is the
+    latency difference divided by the hop difference. Expected: 4 cycles
+    baseline (BW | VA+SA | ST | LT), 3 with pseudo-circuits, 2 with buffer
+    bypassing on top.
+    """
+    rows = []
+    for scheme, expected in ((BASELINE, 4), (ALL_SCHEMES[1], 3),
+                             (PSEUDO_SB, 2)):
+        near = _warm_flow_latency(scheme, hops=2)
+        far = _warm_flow_latency(scheme, hops=6)
+        per_hop = (far - near) / 4
+        rows.append({"scheme": scheme.label, "per_hop_cycles": per_hop,
+                     "expected": expected})
+    if show:
+        print_table("Fig. 6: per-hop router delay (head flits, warm circuit)",
+                    ["scheme", "measured cycles/hop", "paper pipeline"],
+                    [(r["scheme"], r["per_hop_cycles"], r["expected"])
+                     for r in rows])
+    return rows
+
+
+def _warm_flow_latency(scheme: PseudoCircuitConfig, hops: int) -> int:
+    topo = Mesh(8, 2)
+    net = Network(topo, NetworkConfig(pseudo=scheme), routing="xy",
+                  vc_policy="static", seed=1)
+    latency = 0
+    for _ in range(3):  # first packets warm the circuits, last is measured
+        packet = Packet(0, hops, 1, net.cycle)
+        net.inject(packet)
+        net.drain()
+        latency = packet.network_latency
+    return latency
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — overall performance and reusability
+# ---------------------------------------------------------------------------
+
+def fig8(benchmarks=QUICK_BENCHMARKS, trace_cycles: int = 2000,
+         seed: int = 1, show: bool = True) -> list[dict]:
+    """Latency reduction (vs the best baseline) and reusability for the
+    four pseudo-circuit schemes, per benchmark plus average."""
+    rows = []
+    for bench in benchmarks:
+        base = run_experiment(_trace_config(
+            bench, *BEST_BASELINE, BASELINE, trace_cycles, seed))
+        row = {"benchmark": bench, "baseline_latency": base.avg_latency}
+        for scheme in PC_SCHEMES:
+            res = run_experiment(_trace_config(
+                bench, *PSEUDO_CONFIG, scheme, trace_cycles, seed))
+            row[f"reduction_{scheme.label}"] = reduction(
+                base.avg_latency, res.avg_latency)
+            row[f"reuse_{scheme.label}"] = res.reusability
+        rows.append(row)
+    avg = {"benchmark": "average", "baseline_latency": float("nan")}
+    for scheme in PC_SCHEMES:
+        for kind in ("reduction", "reuse"):
+            key = f"{kind}_{scheme.label}"
+            avg[key] = sum(r[key] for r in rows) / len(rows)
+    rows.append(avg)
+    if show:
+        labels = [s.label for s in PC_SCHEMES]
+        print_table("Fig. 8(a): network latency reduction vs best baseline",
+                    ["benchmark"] + labels,
+                    [[r["benchmark"]]
+                     + [r[f"reduction_{l}"] for l in labels] for r in rows])
+        print_table("Fig. 8(b): pseudo-circuit reusability",
+                    ["benchmark"] + labels,
+                    [[r["benchmark"]]
+                     + [r[f"reuse_{l}"] for l in labels] for r in rows])
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figs. 9/10 — routing x VA grid: latency reduction and reusability
+# ---------------------------------------------------------------------------
+
+def _grid(benchmarks, trace_cycles: int, seed: int) -> list[dict]:
+    """Latency reduction here is measured against the *same* routing/VA
+    baseline, isolating the pseudo-circuit effect per combination."""
+    rows = []
+    for bench in benchmarks:
+        for routing in ROUTINGS:
+            for va in VA_POLICIES:
+                base = run_experiment(_trace_config(
+                    bench, routing, va, BASELINE, trace_cycles, seed))
+                for scheme in PC_SCHEMES:
+                    res = run_experiment(_trace_config(
+                        bench, routing, va, scheme, trace_cycles, seed))
+                    rows.append({
+                        "benchmark": bench, "routing": routing, "va": va,
+                        "scheme": scheme.label,
+                        "latency": res.avg_latency,
+                        "baseline_latency": base.avg_latency,
+                        "reduction": reduction(base.avg_latency,
+                                               res.avg_latency),
+                        "reusability": res.reusability,
+                        "result": res,
+                    })
+    return rows
+
+
+def fig9(benchmarks=("fma3d", "specjbb", "radix"), trace_cycles: int = 2000,
+         seed: int = 1, show: bool = True) -> list[dict]:
+    """Latency reduction for every routing x VA x scheme combination."""
+    rows = _grid(benchmarks, trace_cycles, seed)
+    if show:
+        print_table(
+            "Fig. 9: latency reduction grid (vs same-configuration baseline)",
+            ["benchmark", "routing", "va", "scheme", "reduction"],
+            [(r["benchmark"], r["routing"], r["va"], r["scheme"],
+              r["reduction"]) for r in rows])
+    return rows
+
+
+def fig10(benchmarks=("fma3d", "specjbb", "radix"), trace_cycles: int = 2000,
+          seed: int = 1, show: bool = True) -> list[dict]:
+    """Reusability for every routing x VA x scheme combination."""
+    rows = _grid(benchmarks, trace_cycles, seed)
+    if show:
+        print_table(
+            "Fig. 10: pseudo-circuit reusability grid",
+            ["benchmark", "routing", "va", "scheme", "reusability"],
+            [(r["benchmark"], r["routing"], r["va"], r["scheme"],
+              r["reusability"]) for r in rows])
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — router energy consumption
+# ---------------------------------------------------------------------------
+
+def fig11(benchmarks=("fma3d", "specjbb", "radix"), trace_cycles: int = 2000,
+          seed: int = 1, show: bool = True) -> list[dict]:
+    """Router energy (normalized to the same-configuration baseline) for XY
+    and YX with static VA, per scheme."""
+    rows = []
+    for routing in ("xy", "yx"):
+        for bench in benchmarks:
+            base = run_experiment(_trace_config(
+                bench, routing, "static", BASELINE, trace_cycles, seed))
+            base_epf = base.energy_pj / max(1, base.flit_hops)
+            for scheme in PC_SCHEMES:
+                res = run_experiment(_trace_config(
+                    bench, routing, "static", scheme, trace_cycles, seed))
+                epf = res.energy_pj / max(1, res.flit_hops)
+                rows.append({
+                    "routing": routing, "benchmark": bench,
+                    "scheme": scheme.label,
+                    "normalized_energy": epf / base_epf,
+                })
+    if show:
+        print_table(
+            "Fig. 11: normalized router energy per flit-hop (static VA)",
+            ["routing", "benchmark", "scheme", "normalized energy"],
+            [(r["routing"], r["benchmark"], r["scheme"],
+              r["normalized_energy"]) for r in rows])
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — synthetic workloads: load-latency curves
+# ---------------------------------------------------------------------------
+
+def fig12(patterns=("uniform", "bitcomp", "transpose"),
+          loads=(0.05, 0.10, 0.15, 0.25), schemes=ALL_SCHEMES,
+          cycles: int = 1000, seed: int = 1, show: bool = True) -> list[dict]:
+    """Latency vs offered load on an 8x8 mesh, XY routing + static VA."""
+    rows = []
+    for pattern in patterns:
+        for load in loads:
+            for scheme in schemes:
+                cfg = ExperimentConfig(
+                    topology="mesh", kx=8, ky=8, concentration=1,
+                    routing="xy", vc_policy="static", scheme=scheme,
+                    pattern=pattern, rate=load, packet_size=5,
+                    synth_cycles=cycles, synth_warmup=cycles // 4,
+                    seed=seed)
+                res = run_experiment(cfg)
+                rows.append({"pattern": pattern, "load": load,
+                             "scheme": scheme.label,
+                             "latency": res.avg_latency,
+                             "reusability": res.reusability})
+    if show:
+        print_table("Fig. 12: synthetic workloads (8x8 mesh, XY + static VA)",
+                    ["pattern", "load", "scheme", "latency", "reuse"],
+                    [(r["pattern"], r["load"], r["scheme"], r["latency"],
+                      r["reusability"]) for r in rows])
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 — impact on various topologies
+# ---------------------------------------------------------------------------
+
+TOPOLOGY_POINTS = (
+    ("mesh", 8, 8, 1),
+    ("cmesh", 4, 4, 4),
+    ("mecs", 4, 4, 4),
+    ("fbfly", 4, 4, 4),
+)
+
+
+def fig13(benchmark: str = "fma3d", trace_cycles: int = 2000, seed: int = 1,
+          show: bool = True) -> list[dict]:
+    """Latency of every scheme on mesh/cmesh/MECS/FBFLY, normalized to the
+    baseline mesh (DOR XY + static VA, as in the paper)."""
+    rows = []
+    mesh_base = None
+    for topo, kx, ky, conc in TOPOLOGY_POINTS:
+        for scheme in ALL_SCHEMES:
+            cfg = ExperimentConfig(
+                topology=topo, kx=kx, ky=ky, concentration=conc,
+                routing="xy", vc_policy="static", scheme=scheme,
+                benchmark=benchmark, trace_cycles=trace_cycles,
+                trace_warmup=max(200, trace_cycles // 5), seed=seed)
+            res = run_experiment(cfg)
+            if mesh_base is None:
+                mesh_base = res.avg_latency
+            rows.append({"topology": topo, "scheme": scheme.label,
+                         "latency": res.avg_latency,
+                         "normalized": res.avg_latency / mesh_base,
+                         "reusability": res.reusability})
+    if show:
+        print_table(
+            f"Fig. 13: topology impact on {benchmark} "
+            "(normalized to baseline mesh)",
+            ["topology", "scheme", "latency", "normalized", "reuse"],
+            [(r["topology"], r["scheme"], r["latency"], r["normalized"],
+              r["reusability"]) for r in rows])
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 — comparison with express virtual channels
+# ---------------------------------------------------------------------------
+
+def fig14(benchmark: str = "fma3d", trace_cycles: int = 2000, seed: int = 1,
+          show: bool = True) -> list[dict]:
+    """Baseline vs EVC vs Pseudo+S+B on a mesh and a concentrated mesh."""
+    rows = []
+    for label, base_topo, evc_kx, evc_ky, conc in (
+            ("mesh", ("mesh", 8, 8, 1), 8, 8, 1),
+            ("cmesh", ("cmesh", 4, 4, 4), 4, 4, 4)):
+        topo_name, kx, ky, tconc = base_topo
+        def cfg(topology, scheme, vc_policy="dynamic"):
+            return ExperimentConfig(
+                topology=topology, kx=kx, ky=ky, concentration=tconc,
+                routing="xy", vc_policy=vc_policy, scheme=scheme,
+                benchmark=benchmark, trace_cycles=trace_cycles,
+                trace_warmup=max(200, trace_cycles // 5), seed=seed)
+        base = run_experiment(cfg(topo_name, BASELINE))
+        evc = run_experiment(cfg("evc_mesh", BASELINE))
+        pseudo = run_experiment(cfg(topo_name, PSEUDO_SB))
+        for name, res in (("Baseline", base), ("EVC", evc),
+                          ("Pseudo+S+B", pseudo)):
+            rows.append({"topology": label, "scheme": name,
+                         "latency": res.avg_latency,
+                         "normalized": res.avg_latency / base.avg_latency})
+    if show:
+        print_table(
+            f"Fig. 14: EVC comparison on {benchmark} "
+            "(normalized per topology)",
+            ["topology", "scheme", "latency", "normalized"],
+            [(r["topology"], r["scheme"], r["latency"], r["normalized"])
+             for r in rows])
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Tables I and II
+# ---------------------------------------------------------------------------
+
+def table1(show: bool = True) -> list[tuple[str, str]]:
+    rows = CmpConfig().as_table()
+    if show:
+        print_table("Table I: CMP configuration parameters",
+                    ["parameter", "value"], rows)
+    return rows
+
+
+def table2(show: bool = True) -> list[dict]:
+    model = DEFAULT_ENERGY_MODEL
+    rows = [{"component": name, "pj_per_hop": pj, "share": share}
+            for name, (pj, share) in model.component_breakdown().items()]
+    if show:
+        print_table("Table II: router energy per flit hop",
+                    ["component", "pJ", "share"],
+                    [(r["component"], r["pj_per_hop"], r["share"])
+                     for r in rows])
+    return rows
+
+
+ALL_FIGURES = {
+    "fig1": fig1, "fig6": fig6, "fig8": fig8, "fig9": fig9,
+    "fig10": fig10, "fig11": fig11, "fig12": fig12, "fig13": fig13,
+    "fig14": fig14, "table1": table1, "table2": table2,
+}

@@ -1,0 +1,45 @@
+"""Plain-text table/series rendering for experiment results."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 10 else f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned text table."""
+    cells = [[format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Sequence[Sequence]) -> None:
+    print(f"\n== {title} ==")
+    print(format_table(headers, rows))
+
+
+def percent(fraction: float) -> str:
+    return f"{100.0 * fraction:+.1f}%"
+
+
+def reduction(baseline: float, value: float) -> float:
+    """Latency reduction of ``value`` relative to ``baseline`` (0..1)."""
+    if baseline <= 0:
+        raise ValueError("baseline latency must be positive")
+    return 1.0 - value / baseline

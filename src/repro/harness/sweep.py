@@ -1,0 +1,66 @@
+"""Sensitivity sweeps (ablations over the design parameters).
+
+The paper fixes 4 VCs x 4-flit buffers (Section V); these sweeps quantify
+how the pseudo-circuit win depends on those choices and on load — the
+ablation experiments a reviewer would ask for:
+
+* ``sweep_vcs`` — more VCs dilute per-VC locality under dynamic VA but give
+  static VA more flows to separate;
+* ``sweep_buffer_depth`` — deeper buffers lengthen the stretch a circuit
+  can stream and delay credit terminations;
+* ``sweep_load`` — reuse decays as contention rises (the paper's Section
+  VIII observation that pseudo-circuits help little at saturation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..network.config import BASELINE, PSEUDO_SB
+from .experiment import ExperimentConfig, run_experiment
+from .report import reduction
+
+
+def _point(cfg: ExperimentConfig) -> dict:
+    base = run_experiment(cfg.with_scheme(BASELINE))
+    full = run_experiment(cfg.with_scheme(PSEUDO_SB))
+    return {
+        "baseline_latency": base.avg_latency,
+        "latency": full.avg_latency,
+        "reduction": reduction(base.avg_latency, full.avg_latency),
+        "reusability": full.reusability,
+        "buffer_bypass_rate": full.buffer_bypass_rate,
+    }
+
+
+def _synthetic(**overrides) -> ExperimentConfig:
+    defaults = dict(topology="mesh", kx=8, ky=8, concentration=1,
+                    routing="xy", vc_policy="static", pattern="uniform",
+                    rate=0.10, packet_size=5, synth_cycles=1000,
+                    synth_warmup=250, seed=1)
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def sweep_vcs(vc_counts=(2, 4, 8), **overrides) -> list[dict]:
+    rows = []
+    for num_vcs in vc_counts:
+        cfg = _synthetic(num_vcs=num_vcs, **overrides)
+        rows.append({"num_vcs": num_vcs, **_point(cfg)})
+    return rows
+
+
+def sweep_buffer_depth(depths=(2, 4, 8), **overrides) -> list[dict]:
+    rows = []
+    for depth in depths:
+        cfg = _synthetic(buffer_depth=depth, **overrides)
+        rows.append({"buffer_depth": depth, **_point(cfg)})
+    return rows
+
+
+def sweep_load(loads=(0.05, 0.15, 0.25), **overrides) -> list[dict]:
+    rows = []
+    for load in loads:
+        cfg = _synthetic(rate=load, **overrides)
+        rows.append({"load": load, **_point(cfg)})
+    return rows

@@ -1,0 +1,5 @@
+"""Measurement: latency, reusability, temporal locality, energy inputs."""
+
+from .stats import NetworkStats
+
+__all__ = ["NetworkStats"]

@@ -1,0 +1,84 @@
+"""Arbiters used by the separable switch allocator.
+
+``RoundRobinArbiter`` is the classic rotating-priority arbiter: the highest
+priority is the requester just after the most recent grant, which makes it
+starvation-free under persistent requests. ``MatrixArbiter`` implements a
+least-recently-served policy with a triangular state matrix; it is provided
+as an alternative and exercised by tests, the allocator defaults to
+round-robin as in most NoC router implementations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class RoundRobinArbiter:
+    """Rotating-priority arbiter over ``size`` requesters."""
+
+    __slots__ = ("size", "_next")
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("arbiter size must be >= 1")
+        self.size = size
+        self._next = 0
+
+    def grant(self, requests: Iterable[int]) -> int | None:
+        """Grant one of ``requests`` (indices); returns None if empty.
+
+        Priority rotates so the granted requester becomes lowest priority.
+        """
+        req = set(requests)
+        if not req:
+            return None
+        for offset in range(self.size):
+            cand = (self._next + offset) % self.size
+            if cand in req:
+                self._next = (cand + 1) % self.size
+                return cand
+        raise ValueError(f"requests {req} out of range for size {self.size}")
+
+
+class MatrixArbiter:
+    """Least-recently-served arbiter.
+
+    ``_prio[i][j]`` is True when requester i beats requester j. After a grant,
+    the winner loses to everyone (moves to the back of the order).
+    """
+
+    __slots__ = ("size", "_prio")
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("arbiter size must be >= 1")
+        self.size = size
+        self._prio = [[i < j for j in range(size)] for i in range(size)]
+
+    def grant(self, requests: Iterable[int]) -> int | None:
+        req = [r for r in set(requests)]
+        if not req:
+            return None
+        for r in req:
+            if not 0 <= r < self.size:
+                raise ValueError(f"request {r} out of range")
+        for cand in req:
+            if all(self._prio[cand][other]
+                   for other in req if other != cand):
+                for other in range(self.size):
+                    if other != cand:
+                        self._prio[cand][other] = False
+                        self._prio[other][cand] = True
+                return cand
+        # The priority matrix is a total order over any subset, so one
+        # candidate always dominates; reaching here means corrupted state.
+        raise AssertionError("matrix arbiter found no dominating requester")
+
+
+def make_arbiter(kind: str, size: int):
+    """Factory used by router configuration (kind: 'roundrobin'|'matrix')."""
+    if kind == "roundrobin":
+        return RoundRobinArbiter(size)
+    if kind == "matrix":
+        return MatrixArbiter(size)
+    raise ValueError(f"unknown arbiter kind {kind!r}")

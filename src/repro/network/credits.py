@@ -1,0 +1,72 @@
+"""Credit-based virtual-channel flow control (Dally, 1992).
+
+Each output port of a router tracks, per downstream VC, how many free buffer
+slots remain at the matching downstream input VC. Sending a flit consumes one
+credit; the downstream router returns a credit when the flit leaves (or
+bypasses) its buffer. Credit return travels on a dedicated back channel with
+a configurable delay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class CreditError(RuntimeError):
+    """Credit under/overflow: a flow-control invariant was violated."""
+
+
+class CreditCounter:
+    """Credits for one (output port, VC) pair."""
+
+    __slots__ = ("limit", "count")
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ValueError(f"credit limit must be >= 1, got {limit}")
+        self.limit = limit
+        self.count = limit
+
+    @property
+    def available(self) -> bool:
+        return self.count > 0
+
+    def consume(self) -> None:
+        if self.count <= 0:
+            raise CreditError("credit consumed with zero credits")
+        self.count -= 1
+
+    def restore(self) -> None:
+        if self.count >= self.limit:
+            raise CreditError(
+                f"credit restored beyond limit {self.limit}")
+        self.count += 1
+
+
+class CreditChannel:
+    """Delay line carrying (vc,) credit returns upstream.
+
+    ``send(vc, now)`` enqueues a credit; ``deliver(now)`` yields every vc
+    whose credit has arrived by cycle ``now``.
+    """
+
+    __slots__ = ("delay", "_inflight")
+
+    def __init__(self, delay: int = 1):
+        if delay < 0:
+            raise ValueError("credit delay must be >= 0")
+        self.delay = delay
+        self._inflight: deque[tuple[int, int]] = deque()
+
+    def send(self, vc: int, now: int) -> None:
+        self._inflight.append((now + self.delay, vc))
+
+    def deliver(self, now: int):
+        out = []
+        q = self._inflight
+        while q and q[0][0] <= now:
+            out.append(q.popleft()[1])
+        return out
+
+    def pending(self) -> int:
+        return len(self._inflight)

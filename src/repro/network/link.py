@@ -1,0 +1,42 @@
+"""Channel delivery queues.
+
+A ``Link`` carries flits launched by a router output port to the input port
+of the endpoint chosen at switch traversal. Arrival cycles are computed by
+the sender (they depend on whether the flit went through SA or bypassed);
+the link is a time-ordered queue that hands each flit to the destination
+router at its arrival cycle.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from .flit import Flit
+from .ports import OutEndpoint
+
+_seq = itertools.count()
+
+
+class Link:
+    """Time-ordered in-flight flit queue for one channel."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self):
+        self._heap: list[tuple[int, int, Flit, OutEndpoint]] = []
+
+    def deliver(self, flit: Flit, endpoint: OutEndpoint, cycle: int) -> None:
+        """Schedule ``flit`` to arrive at ``endpoint`` at ``cycle``."""
+        heapq.heappush(self._heap, (cycle, next(_seq), flit, endpoint))
+
+    def tick(self, now: int, routers) -> None:
+        """Hand over every flit whose arrival cycle has come."""
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            _, _, flit, ep = heapq.heappop(heap)
+            routers[ep.router].accept_flit(ep.in_port, flit)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._heap)

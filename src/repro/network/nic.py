@@ -1,0 +1,179 @@
+"""Network interface (NIC) attached to each terminal.
+
+The sender NIC splits packets into flits and injects them serially through
+its injection channel, performing injection-side VC allocation against the
+router's local input port (paper Section III.A). The receiver NIC
+reassembles flits into packets and immediately frees its buffer, returning
+credits after the configured delay.
+
+Self-throttling (Section V): with ``mshrs > 0`` a NIC stops starting new
+packets while ``mshrs`` of its packets are still in flight, modeling the
+4-MSHR per-core limit of the paper's CMP.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from collections import deque
+
+from ..metrics.stats import NetworkStats
+from ..routing.base import RoutingAlgorithm
+from ..vcalloc.base import VCAllocationPolicy
+from .config import NetworkConfig
+from .flit import Flit, Packet
+from .link import Link
+from .ports import OutVC
+
+_seq = itertools.count()
+
+
+class InjectEndpoint:
+    """Upstream-side state of the router's local input port (the NIC is the
+    'upstream router' of the injection channel)."""
+
+    __slots__ = ("ovcs",)
+
+    def __init__(self, num_vcs: int, buffer_depth: int):
+        self.ovcs = [OutVC(buffer_depth) for _ in range(num_vcs)]
+
+    def restore_credit(self, vc: int) -> None:
+        self.ovcs[vc].credits.restore()
+
+
+class Nic:
+    """One terminal's network interface."""
+
+    def __init__(self, terminal: int, config: NetworkConfig,
+                 routing: RoutingAlgorithm, vc_policy: VCAllocationPolicy,
+                 stats: NetworkStats, rng: random.Random):
+        self.terminal = terminal
+        self.config = config
+        self.routing = routing
+        self.vc_policy = vc_policy
+        self.stats = stats
+        self.rng = rng
+        self.queue: deque[Packet] = deque()
+        self.inject_state = InjectEndpoint(config.num_vcs,
+                                           config.buffer_depth)
+        # In-progress transmissions, one per injection VC: vc -> [packet,
+        # flits, next flit index]. The NIC interleaves them on the single
+        # injection channel, one flit per cycle.
+        self._sending: dict[int, list] = {}
+        self._send_rr = 0
+        self.outstanding = 0
+        # Wired by the Network: link + endpoint into the router local port,
+        # and the router-side ejection endpoint whose credits we replenish.
+        self.inject_link: Link | None = None
+        self.inject_endpoint = None
+        self.eject_endpoint = None
+        self._eject_credit_due: deque[tuple[int, int]] = deque()
+        # Reassembly and delivery upcall (used by the CMP substrate).
+        self._rx_flits: dict[int, int] = {}
+        self._eject_heap: list[tuple[int, int, Flit]] = []
+        self.on_packet = None  # callback(packet, cycle)
+        self.ejected: list[Packet] = []
+        self.keep_ejected = False
+
+    # -- sending ----------------------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> None:
+        """Hand a packet to the NIC (source queuing starts here)."""
+        if 0 < self.config.inject_queue <= len(self.queue):
+            raise RuntimeError(
+                f"NIC {self.terminal}: source queue overflow "
+                f"({self.config.inject_queue})")
+        self.routing.on_inject(packet, self.rng)
+        self.queue.append(packet)
+
+    @property
+    def can_accept(self) -> bool:
+        return not (0 < self.config.inject_queue <= len(self.queue))
+
+    def tick_inject(self, cycle: int) -> None:
+        """Start the head-of-queue packet if a VC is free, then send at most
+        one flit (round-robin over the in-progress VCs with credits)."""
+        self._start_next_packet(cycle)
+        if not self._sending:
+            return
+        num_vcs = self.config.num_vcs
+        for offset in range(num_vcs):
+            vc = (self._send_rr + offset) % num_vcs
+            entry = self._sending.get(vc)
+            if entry is None:
+                continue
+            ovc = self.inject_state.ovcs[vc]
+            if ovc.credits.count == 0:
+                continue
+            packet, flits, idx = entry
+            flit = flits[idx]
+            flit.vc = vc
+            ovc.credits.consume()
+            self.inject_link.deliver(flit, self.inject_endpoint, cycle + 1)
+            if idx + 1 == len(flits):
+                ovc.owner = None
+                del self._sending[vc]
+            else:
+                entry[2] = idx + 1
+            self._send_rr = (vc + 1) % num_vcs
+            return
+
+    def _start_next_packet(self, cycle: int) -> None:
+        if not self.queue:
+            return
+        if 0 < self.config.mshrs <= self.outstanding:
+            return  # self-throttling: all MSHRs busy
+        packet = self.queue[0]
+        lo, hi = self.routing.vc_limits(packet, self.config.num_vcs)
+        vc = self.vc_policy.allocate(self.inject_state.ovcs, packet, lo, hi)
+        if vc is None:
+            return
+        self.queue.popleft()
+        self.inject_state.ovcs[vc].owner = (-1, self.terminal)
+        packet.inject_cycle = cycle
+        self.stats.record_injection(packet)
+        self.outstanding += 1
+        self._sending[vc] = [packet, packet.make_flits(), 0]
+
+    # -- receiving -----------------------------------------------------------------
+
+    def deliver(self, flit: Flit, endpoint, cycle: int) -> None:
+        """Sink interface used by the router's ejection output port."""
+        heapq.heappush(self._eject_heap, (cycle, next(_seq), flit))
+
+    def tick_eject(self, cycle: int, network) -> None:
+        # Return credits whose delay has elapsed.
+        due = self._eject_credit_due
+        while due and due[0][0] <= cycle:
+            _, vc = due.popleft()
+            self.eject_endpoint.restore_credit(vc)
+        heap = self._eject_heap
+        while heap and heap[0][0] <= cycle:
+            _, _, flit = heapq.heappop(heap)
+            # The NIC drains instantly; the buffer slot frees right away.
+            due.append((cycle + self.config.credit_delay, flit.vc))
+            packet = flit.packet
+            got = self._rx_flits.get(packet.pid, 0) + 1
+            if flit.is_tail:
+                if got != packet.size:
+                    raise RuntimeError(
+                        f"NIC {self.terminal}: tail of {packet} arrived "
+                        f"after {got}/{packet.size} flits")
+                self._rx_flits.pop(packet.pid, None)
+                packet.eject_cycle = cycle
+                self.stats.record_ejection(packet)
+                network.notify_ejection(packet)
+                if self.keep_ejected:
+                    self.ejected.append(packet)
+                if self.on_packet is not None:
+                    self.on_packet(packet, cycle)
+            else:
+                self._rx_flits[packet.pid] = got
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        return (not self.queue and not self._sending
+                and not self._eject_heap)

@@ -1,0 +1,436 @@
+"""Pipelined virtual-channel router with the pseudo-circuit schemes.
+
+The baseline follows the state-of-the-art speculative two-stage organization
+(Peh & Dally, HPCA 2001) the paper uses as its starting point: buffer write
+(BW), then VA and SA in one cycle (speculation modeled as VA resolving just
+before SA within the cycle), then switch traversal (ST), then link traversal
+(LT) — four cycles per hop for a head flit at zero load.
+
+Pseudo-circuit extensions hook into the SA stage:
+
+* a flit matching its input port's valid pseudo-circuit skips SA and
+  traverses in the cycle it would have arbitrated (hop = 3 cycles);
+* with buffer bypassing it can traverse in its arrival cycle (hop = 2);
+* speculation re-establishes circuits on freed output ports.
+
+Cycle-internal ordering of ``step``:
+
+1. VA for head flits at the front of their VCs,
+2. pseudo-circuit candidate selection (+ route-mismatch / credit
+   terminations),
+3. SA request collection from the remaining VCs,
+4. bypass of unblocked candidates (blocked ones fall back to SA requests
+   this same cycle, exactly the paper's "no additional penalty" rule),
+5. arrival processing: buffer bypass or buffer write,
+6. separable input-first switch allocation; grants traverse next cycle,
+7. pseudo-circuit credit terminations and speculative restoration.
+"""
+
+from __future__ import annotations
+
+from ..core.pseudo_circuit import Termination
+from ..core.speculation import try_restore
+from ..metrics.stats import NetworkStats
+from ..routing.base import RoutingAlgorithm
+from ..vcalloc.base import VCAllocationPolicy
+from .arbiters import make_arbiter
+from .config import NetworkConfig
+from .flit import Flit
+from .ports import InputPort, OutputPort
+from .vc import VCState, VirtualChannel
+
+
+class ProtocolError(RuntimeError):
+    """A flow-control or wormhole invariant was violated."""
+
+
+class Router:
+    """One router; ports are wired by the Network at build time."""
+
+    def __init__(self, router_id: int, num_inports: int, num_outports: int,
+                 config: NetworkConfig, routing: RoutingAlgorithm,
+                 vc_policy: VCAllocationPolicy, stats: NetworkStats):
+        self.router_id = router_id
+        self.config = config
+        self.routing = routing
+        self.vc_policy = vc_policy
+        self.stats = stats
+        self.in_ports = [
+            InputPort(p, config.num_vcs, config.buffer_depth,
+                      config.credit_delay)
+            for p in range(num_inports)]
+        # Output ports are replaced by the Network once channels exist.
+        self.out_ports: list[OutputPort] = [
+            OutputPort(p, []) for p in range(num_outports)]
+        self._in_arbs = [make_arbiter(config.arbiter_kind, config.num_vcs)
+                         for _ in range(num_inports)]
+        self._out_arbs = [make_arbiter(config.arbiter_kind, num_inports)
+                          for _ in range(num_outports)]
+        self._arrivals: list[tuple[int, Flit]] = []
+        self._buffered_flits = 0
+
+    # -- wiring (used by Network) ---------------------------------------------
+
+    def attach_output(self, port: int, output: OutputPort) -> None:
+        self.out_ports[port] = output
+
+    # -- per-cycle entry points -------------------------------------------------
+
+    def accept_flit(self, in_port: int, flit: Flit) -> None:
+        """Stage a flit delivered by an upstream channel this cycle."""
+        self._arrivals.append((in_port, flit))
+
+    def deliver_credits(self, cycle: int) -> None:
+        for ip in self.in_ports:
+            if ip.credit_channel.pending():
+                ip.deliver_credits(cycle)
+
+    def step(self, cycle: int) -> None:
+        if not self._arrivals and self._buffered_flits == 0:
+            return  # idle router: nothing can happen this cycle
+        pc = self.config.pseudo
+        self._va_phase(cycle)
+        if pc.enabled:
+            candidates = self._pc_candidates(cycle)
+        else:
+            candidates = {}
+        requests = self._collect_requests(cycle, candidates)
+        claimed_in = {i for i, _ in requests}
+        claimed_out = {vc.out_port for _, vc in requests}
+        # Bypass unblocked pseudo-circuit candidates; blocked ones join SA.
+        for i in sorted(candidates):
+            vc = candidates[i]
+            out = self.out_ports[vc.out_port]
+            in_busy = self.in_ports[i].st_busy_cycle == cycle
+            out_busy = out.st_busy_cycle == cycle
+            if (i in claimed_in or vc.out_port in claimed_out
+                    or in_busy != out_busy):
+                requests.append((i, vc))
+                claimed_in.add(i)
+                claimed_out.add(vc.out_port)
+            elif in_busy:
+                # Both crossbar ports are occupied by the previous flit of
+                # this same circuit (anything else would have re-established
+                # or terminated the register): the stream keeps flowing
+                # through the held connection, one flit per cycle, without
+                # arbitration — reuse at pipeline-full throughput.
+                self._traverse(cycle, i, vc, via="pc", streamed=True)
+            else:
+                self._traverse(cycle, i, vc, via="pc")
+        self._process_arrivals(cycle, claimed_in, claimed_out)
+        for i, vc in self._allocate_switch(requests):
+            self._traverse(cycle, i, vc, via="sa")
+        if pc.enabled:
+            self._credit_terminations()
+            if pc.speculation:
+                self._speculate()
+
+    # -- VA stage -----------------------------------------------------------------
+
+    def _va_phase(self, cycle: int) -> None:
+        ports = self.in_ports
+        num = len(ports)
+        start = cycle % num  # rotate service order for fairness
+        for k in range(num):
+            ip = ports[(start + k) % num]
+            for vc in ip.vcs:
+                if not vc.buffer:
+                    continue
+                front = vc.buffer.front()
+                if front.ready_cycle > cycle:
+                    continue
+                if vc.state == VCState.IDLE:
+                    if not front.is_head:
+                        raise ProtocolError(
+                            f"router {self.router_id}: body flit at the "
+                            f"front of idle VC {vc.vc_id}: {front}")
+                    out_port, drop = self.routing.route(self.router_id,
+                                                        front.packet)
+                    vc.start_packet(out_port, drop)
+                if vc.state == VCState.VA:
+                    self._try_va(ip, vc, front)
+
+    def _try_va(self, ip: InputPort, vc: VirtualChannel, head: Flit) -> bool:
+        out = self.out_ports[vc.out_port]
+        endpoint = out.endpoints[vc.out_ep]
+        lo, hi = self.routing.vc_limits(head.packet, self.config.num_vcs,
+                                        vc.out_port)
+        ovc = self.vc_policy.allocate(endpoint.ovcs, head.packet, lo, hi,
+                                      ejection=out.is_ejection)
+        if ovc is None:
+            return False
+        endpoint.ovcs[ovc].owner = (ip.port_id, vc.vc_id)
+        vc.grant_out_vc(ovc)
+        self.stats.va_allocations += 1
+        return True
+
+    # -- pseudo-circuit candidates ---------------------------------------------
+
+    def _pc_candidates(self, cycle: int) -> dict[int, VirtualChannel]:
+        """Input ports whose circuit's VC has a matching, ready front flit."""
+        candidates: dict[int, VirtualChannel] = {}
+        for i, ip in enumerate(self.in_ports):
+            reg = ip.pc
+            if not reg.valid:
+                continue
+            vc = ip.vcs[reg.in_vc]
+            if not vc.buffer:
+                continue
+            front = vc.buffer.front()
+            if front.ready_cycle > cycle:
+                continue
+            if front.is_head:
+                # Route is known (the VA phase ran first this cycle).
+                if vc.out_port != reg.out_port:
+                    self._terminate_pc(i, Termination.ROUTE_MISMATCH)
+                    continue
+                if vc.state != VCState.ACTIVE:
+                    continue  # header still waiting for an output VC
+            elif vc.state != VCState.ACTIVE:
+                raise ProtocolError(
+                    f"router {self.router_id}: body flit on inactive VC")
+            endpoint = self.out_ports[vc.out_port].endpoints[vc.out_ep]
+            if endpoint.ovcs[vc.out_vc].credits.count == 0:
+                self._terminate_pc(i, Termination.NO_CREDIT)
+                continue
+            candidates[i] = vc
+        return candidates
+
+    # -- SA stage --------------------------------------------------------------
+
+    def _collect_requests(self, cycle: int,
+                          candidates: dict[int, VirtualChannel]
+                          ) -> list[tuple[int, VirtualChannel]]:
+        requests = []
+        for i, ip in enumerate(self.in_ports):
+            cand = candidates.get(i)
+            for vc in ip.vcs:
+                if vc is cand or not vc.ready_for_sa(cycle):
+                    continue
+                endpoint = self.out_ports[vc.out_port].endpoints[vc.out_ep]
+                if endpoint.ovcs[vc.out_vc].credits.count == 0:
+                    continue
+                requests.append((i, vc))
+        return requests
+
+    def _allocate_switch(self, requests: list[tuple[int, VirtualChannel]]
+                         ) -> list[tuple[int, VirtualChannel]]:
+        """Separable input-first allocation with round-robin arbiters."""
+        if not requests:
+            return []
+        by_input: dict[int, list[VirtualChannel]] = {}
+        for i, vc in requests:
+            by_input.setdefault(i, []).append(vc)
+        stage1: dict[int, VirtualChannel] = {}
+        for i, vcs in by_input.items():
+            choice = self._in_arbs[i].grant([vc.vc_id for vc in vcs])
+            stage1[i] = self.in_ports[i].vcs[choice]
+        by_output: dict[int, list[int]] = {}
+        for i, vc in stage1.items():
+            by_output.setdefault(vc.out_port, []).append(i)
+        grants = []
+        for out_port, inputs in by_output.items():
+            winner = self._out_arbs[out_port].grant(inputs)
+            grants.append((winner, stage1[winner]))
+        return grants
+
+    # -- arrivals: buffer write or buffer bypass ---------------------------------
+
+    def _process_arrivals(self, cycle: int, claimed_in: set[int],
+                          claimed_out: set[int]) -> None:
+        if not self._arrivals:
+            return
+        bypass_on = self.config.pseudo.buffer_bypass
+        for i, flit in self._arrivals:
+            ip = self.in_ports[i]
+            vc = ip.vcs[flit.vc]
+            if (bypass_on and ip.pc.valid and ip.pc.in_vc == flit.vc
+                    and vc.buffer.is_empty
+                    and self._try_buffer_bypass(cycle, i, ip, vc, flit,
+                                                claimed_in, claimed_out)):
+                continue
+            flit.ready_cycle = cycle + 1
+            vc.buffer.append(flit)
+            self._buffered_flits += 1
+            self.stats.buffer_writes += 1
+        self._arrivals.clear()
+
+    def _try_buffer_bypass(self, cycle: int, i: int, ip: InputPort,
+                           vc: VirtualChannel, flit: Flit,
+                           claimed_in: set[int],
+                           claimed_out: set[int]) -> bool:
+        # The port must be free this cycle AND no earlier flit of this port
+        # may still be scheduled for a later ST (it would be overtaken).
+        if ip.st_busy_cycle >= cycle or i in claimed_in:
+            return False
+        if flit.is_head:
+            if vc.state != VCState.IDLE:
+                raise ProtocolError(
+                    f"router {self.router_id}: head flit arrived on VC "
+                    f"{vc.vc_id} still {vc.state.name}")
+            out_port, drop = self.routing.route(self.router_id, flit.packet)
+            if not ip.pc.matches_head(flit.vc, out_port):
+                if ip.pc.conflicts_with_route(flit.vc, out_port):
+                    self._terminate_pc(i, Termination.ROUTE_MISMATCH)
+                return False
+            out = self.out_ports[out_port]
+            if out_port in claimed_out or out.st_busy_cycle >= cycle:
+                return False
+            endpoint = out.endpoints[drop]
+            lo, hi = self.routing.vc_limits(flit.packet, self.config.num_vcs,
+                                            out_port)
+            ovc = self.vc_policy.allocate(endpoint.ovcs, flit.packet, lo, hi,
+                                          ejection=out.is_ejection)
+            if ovc is None or endpoint.ovcs[ovc].credits.count == 0:
+                return False
+            vc.start_packet(out_port, drop)
+            endpoint.ovcs[ovc].owner = (i, vc.vc_id)
+            vc.grant_out_vc(ovc)
+            self.stats.va_allocations += 1
+        else:
+            if vc.state != VCState.ACTIVE:
+                raise ProtocolError(
+                    f"router {self.router_id}: body flit arrived on "
+                    f"inactive VC {vc.vc_id}")
+            out = self.out_ports[vc.out_port]
+            if vc.out_port in claimed_out or out.st_busy_cycle >= cycle:
+                return False
+            endpoint = out.endpoints[vc.out_ep]
+            if endpoint.ovcs[vc.out_vc].credits.count == 0:
+                # Out of credit before the flit arrived: tear the circuit
+                # down and buffer normally (Section IV.B).
+                self._terminate_pc(i, Termination.NO_CREDIT)
+                return False
+        self._traverse(cycle, i, vc, via="buf", arriving=flit)
+        return True
+
+    # -- flit traversal (common to SA grants and both bypass kinds) -------------
+
+    def _traverse(self, cycle: int, i: int, vc: VirtualChannel, via: str,
+                  arriving: Flit | None = None,
+                  streamed: bool = False) -> None:
+        ip = self.in_ports[i]
+        stats = self.stats
+        if arriving is None:
+            flit = vc.buffer.pop()
+            self._buffered_flits -= 1
+            stats.buffer_reads += 1
+        else:
+            flit = arriving  # write-through bypass: the slot is never held
+        ip.send_credit(vc.vc_id, cycle)
+        out_port = vc.out_port
+        out = self.out_ports[out_port]
+        endpoint = out.endpoints[vc.out_ep]
+        ovc_state = endpoint.ovcs[vc.out_vc]
+        ovc_state.credits.consume()
+        # Temporal locality (Fig. 1) and event counters.
+        stats.flit_hops += 1
+        stats.xbar_flits += 1
+        if ip.last_out == out_port:
+            stats.xbar_repeats += 1
+        ip.last_out = out_port
+        if via == "sa":
+            stats.sa_arbitrations += 1
+        else:
+            stats.sa_bypass_flits += 1
+            if via == "buf":
+                stats.buf_bypass_flits += 1
+        packet = flit.packet
+        if flit.is_head:
+            packet.hops += 1
+            if via != "sa":
+                packet.sa_bypass_hops += 1
+            if via == "buf":
+                packet.buf_bypass_hops += 1
+            pair = (packet.src, packet.dst)
+            stats.e2e_packets += 1
+            if ip.last_pair == pair:
+                stats.e2e_repeats += 1
+            ip.last_pair = pair
+        if self.config.pseudo.enabled:
+            self._establish_pc(i, vc.vc_id, out_port)
+        # Crossbar occupancy: SA grants and streamed circuit followers
+        # traverse next cycle, bypasses traverse now.
+        delayed = via == "sa" or streamed
+        st_cycle = cycle + 1 if delayed else cycle
+        ip.st_busy_cycle = st_cycle
+        out.st_busy_cycle = st_cycle
+        flit.vc = vc.out_vc
+        arrival = cycle + endpoint.latency + (2 if delayed else 1)
+        out.sink.deliver(flit, endpoint, arrival)
+        if flit.is_tail:
+            ovc_state.owner = None
+            vc.finish_packet()
+
+    # -- pseudo-circuit bookkeeping ------------------------------------------------
+
+    def _establish_pc(self, i: int, in_vc: int, out_port: int) -> None:
+        ip = self.in_ports[i]
+        reg = ip.pc
+        out = self.out_ports[out_port]
+        holder = out.pc_holder
+        if holder not in (-1, i):
+            self._terminate_pc(holder, Termination.CONFLICT_OUTPUT)
+        if reg.valid and reg.out_port != out_port:
+            self._terminate_pc(i, Termination.CONFLICT_INPUT)
+        refreshed = (reg.valid and reg.in_vc == in_vc
+                     and reg.out_port == out_port)
+        reg.establish(in_vc, out_port)
+        out.pc_holder = i
+        if not refreshed:
+            self.stats.pc_established += 1
+
+    def _terminate_pc(self, i: int, reason: Termination) -> None:
+        reg = self.in_ports[i].pc
+        if not reg.valid:
+            return
+        reg.invalidate()
+        out = self.out_ports[reg.out_port]
+        if out.pc_holder == i:
+            out.pc_holder = -1
+        out.history.record_termination(i)
+        self.stats.record_termination(reason)
+
+    def _credit_terminations(self) -> None:
+        for out in self.out_ports:
+            if out.pc_holder != -1 and not out.any_credit():
+                self._terminate_pc(out.pc_holder, Termination.NO_CREDIT)
+
+    def _speculate(self) -> None:
+        registers = [ip.pc for ip in self.in_ports]
+        for out in self.out_ports:
+            if out.pc_holder != -1:
+                continue
+            restored = try_restore(out.port_id, out.history, registers,
+                                   output_is_free=True,
+                                   credits_available=out.any_credit())
+            if restored is not None:
+                out.pc_holder = restored
+                self.stats.pc_restored += 1
+
+    # -- introspection (tests) ---------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert the pseudo-circuit and credit invariants (tests only)."""
+        holders: dict[int, int] = {}
+        for i, ip in enumerate(self.in_ports):
+            if ip.pc.valid:
+                o = ip.pc.out_port
+                if o in holders:
+                    raise AssertionError(
+                        f"outputs {o} held by inputs {holders[o]} and {i}")
+                holders[o] = i
+        for out in self.out_ports:
+            expected = holders.get(out.port_id, -1)
+            if out.pc_holder != expected:
+                raise AssertionError(
+                    f"pc_holder[{out.port_id}]={out.pc_holder} but register "
+                    f"scan says {expected}")
+            for ep in out.endpoints:
+                for ovc in ep.ovcs:
+                    if not 0 <= ovc.credits.count <= ovc.credits.limit:
+                        raise AssertionError("credit counter out of range")
+
+    def __repr__(self) -> str:
+        return (f"Router(id={self.router_id}, in={len(self.in_ports)}, "
+                f"out={len(self.out_ports)})")

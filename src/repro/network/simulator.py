@@ -1,0 +1,179 @@
+"""Network construction and the cycle-accurate simulation loop.
+
+``Network`` assembles routers, channels, links and NICs for a topology and
+steps them in a fixed phase order each cycle:
+
+1. credit returns reach upstream credit counters,
+2. receiver NICs consume flits whose ejection completed,
+3. links deliver flits arriving this cycle into router input stages,
+4. every router runs its VA/SA/pseudo-circuit pipeline step,
+5. sender NICs inject at most one flit each.
+
+Traffic sources drive the network either through :meth:`Network.run` (the
+``traffic`` object's ``tick`` is called once per cycle) or by calling
+:meth:`Network.inject` directly (closed-loop CMP substrate).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..metrics.stats import NetworkStats
+from ..routing import RoutingAlgorithm, make_routing
+from ..topology.base import Topology
+from ..vcalloc import VCAllocationPolicy, make_vc_policy
+from .config import NetworkConfig
+from .flit import Packet
+from .link import Link
+from .nic import Nic
+from .ports import OutEndpoint, OutputPort
+from .router import Router
+
+
+class Network:
+    """A complete simulated on-chip network."""
+
+    def __init__(self, topology: Topology, config: NetworkConfig,
+                 routing: RoutingAlgorithm | str = "xy",
+                 vc_policy: VCAllocationPolicy | str = "dynamic",
+                 seed: int = 1, stats: NetworkStats | None = None,
+                 router_cls: type[Router] = Router):
+        self.topology = topology
+        self.config = config
+        if isinstance(routing, str):
+            routing = make_routing(routing, topology)
+        if isinstance(vc_policy, str):
+            vc_policy = make_vc_policy(vc_policy)
+        self.routing = routing
+        self.vc_policy = vc_policy
+        self.stats = stats if stats is not None else NetworkStats()
+        self.rng = random.Random(seed)
+        self.cycle = 0
+        self.routers = [
+            router_cls(r, topology.num_inports(r), topology.num_outports(r),
+                       config, routing, vc_policy, self.stats)
+            for r in range(topology.num_routers)]
+        self.links: list[Link] = []
+        self.nics: list[Nic] = []
+        self._build_channels()
+        self._build_nics()
+
+    # -- construction -------------------------------------------------------------
+
+    def _build_channels(self) -> None:
+        cfg = self.config
+        for channel in self.topology.channels():
+            link = Link()
+            self.links.append(link)
+            endpoints = [
+                OutEndpoint(ep.router, ep.in_port, ep.latency,
+                            cfg.num_vcs, cfg.buffer_depth)
+                for ep in channel.endpoints]
+            port = OutputPort(channel.src_port, endpoints, sink=link)
+            self.routers[channel.src_router].attach_output(
+                channel.src_port, port)
+            for endpoint in endpoints:
+                in_port = self.routers[endpoint.router].in_ports[
+                    endpoint.in_port]
+                if in_port.upstream is not None:
+                    raise ValueError(
+                        f"input port {endpoint.in_port} of router "
+                        f"{endpoint.router} wired twice")
+                in_port.upstream = endpoint
+
+    def _build_nics(self) -> None:
+        cfg = self.config
+        topo = self.topology
+        for terminal in range(topo.num_terminals):
+            nic = Nic(terminal, cfg, self.routing, self.vc_policy,
+                      self.stats, random.Random(self.rng.getrandbits(32)))
+            router = self.routers[topo.terminal_router(terminal)]
+            # Ejection: router output port -> NIC.
+            eject_ep = OutEndpoint(-1, terminal, 1, cfg.num_vcs,
+                                   cfg.eject_buffer_depth)
+            eject_out = OutputPort(topo.ejection_port(terminal), [eject_ep],
+                                   sink=nic, is_ejection=True)
+            router.attach_output(topo.ejection_port(terminal), eject_out)
+            nic.eject_endpoint = eject_ep
+            # Injection: NIC -> router local input port.
+            inject_link = Link()
+            self.links.append(inject_link)
+            nic.inject_link = inject_link
+            nic.inject_endpoint = OutEndpoint(
+                router.router_id, topo.injection_port(terminal), 1, 1, 1)
+            router.in_ports[topo.injection_port(terminal)].upstream = (
+                nic.inject_state)
+            self.nics.append(nic)
+
+    # -- driving --------------------------------------------------------------------
+
+    def inject(self, packet: Packet) -> None:
+        """Hand a packet to its source NIC."""
+        self.nics[packet.src].enqueue(packet)
+
+    def notify_ejection(self, packet: Packet) -> None:
+        self.nics[packet.src].outstanding -= 1
+
+    def step(self) -> None:
+        """Advance the whole network by one cycle."""
+        cycle = self.cycle
+        routers = self.routers
+        for router in routers:
+            router.deliver_credits(cycle)
+        for nic in self.nics:
+            nic.tick_eject(cycle, self)
+        for link in self.links:
+            if link.in_flight:
+                link.tick(cycle, routers)
+        for router in routers:
+            router.step(cycle)
+        for nic in self.nics:
+            nic.tick_inject(cycle)
+        self.cycle = cycle + 1
+
+    def run(self, cycles: int, traffic=None) -> NetworkStats:
+        """Run for ``cycles`` cycles, ticking ``traffic`` once per cycle."""
+        for _ in range(cycles):
+            if traffic is not None:
+                traffic.tick(self, self.cycle)
+            self.step()
+        return self.stats
+
+    def drain(self, max_cycles: int = 1_000_000) -> NetworkStats:
+        """Run without new traffic until every packet has been delivered."""
+        deadline = self.cycle + max_cycles
+        while not self.quiescent():
+            if self.cycle >= deadline:
+                raise RuntimeError(
+                    f"network failed to drain within {max_cycles} cycles "
+                    f"({self.in_flight_packets()} packets left)")
+            self.step()
+        return self.stats
+
+    # -- queries ---------------------------------------------------------------------
+
+    def in_flight_packets(self) -> int:
+        queued = sum(len(nic.queue) for nic in self.nics)
+        return queued + (self.stats.injected_packets
+                         - self.stats.ejected_packets)
+
+    def quiescent(self) -> bool:
+        if any(not nic.idle for nic in self.nics):
+            return False
+        return self.stats.injected_packets == self.stats.ejected_packets
+
+    def check_invariants(self) -> None:
+        for router in self.routers:
+            router.check_invariants()
+
+
+def build_network(topology: Topology, routing: str = "xy",
+                  vc_policy: str = "dynamic",
+                  config: NetworkConfig | None = None,
+                  seed: int = 1, **config_overrides) -> Network:
+    """Convenience constructor used by examples and the harness."""
+    if config is None:
+        config = NetworkConfig(**config_overrides)
+    elif config_overrides:
+        raise ValueError("pass either config or keyword overrides, not both")
+    return Network(topology, config, routing, vc_policy, seed=seed)

@@ -1,0 +1,26 @@
+"""Routing algorithms (paper Section V: XY, YX, O1TURN)."""
+
+from ..topology.base import Topology
+from .base import RoutingAlgorithm
+from .dor import DimensionOrderRouting, xy_routing, yx_routing
+from .o1turn import O1TurnRouting
+
+__all__ = [
+    "DimensionOrderRouting",
+    "O1TurnRouting",
+    "RoutingAlgorithm",
+    "make_routing",
+    "xy_routing",
+    "yx_routing",
+]
+
+
+def make_routing(name: str, topology: Topology) -> RoutingAlgorithm:
+    """Factory keyed by algorithm name ('xy'|'yx'|'o1turn')."""
+    if name == "xy":
+        return xy_routing(topology)
+    if name == "yx":
+        return yx_routing(topology)
+    if name == "o1turn":
+        return O1TurnRouting(topology)
+    raise ValueError(f"unknown routing algorithm {name!r}")

@@ -1,0 +1,44 @@
+"""Routing algorithm interface.
+
+Routers use lookahead routing (route computation is off the critical path),
+so in the simulator ``route`` is evaluated when a head flit arrives, at no
+cycle cost. ``route`` returns ``(out_port, drop)`` where ``drop`` indexes the
+endpoint of a multidrop channel (always 0 on point-to-point channels).
+
+``vc_limits`` partitions the VC space into deadlock-avoidance classes: a
+packet may only ever occupy VCs inside its class (O1TURN needs two classes,
+one per dimension order).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..network.flit import Packet
+from ..topology.base import Topology
+
+
+class RoutingAlgorithm:
+    """Base class for routing algorithms."""
+
+    name = "abstract"
+    num_vc_classes = 1
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+
+    def on_inject(self, packet: Packet, rng: random.Random) -> None:
+        """Hook run once per packet at injection (O1TURN picks its order)."""
+
+    def route(self, router: int, packet: Packet) -> tuple[int, int]:
+        """Output port (and drop index) at ``router`` toward ``packet.dst``."""
+        raise NotImplementedError
+
+    def vc_limits(self, packet: Packet, num_vcs: int,
+                  out_port: int = -1) -> tuple[int, int]:
+        """Half-open VC range ``[lo, hi)`` this packet may use on the channel
+        behind ``out_port`` (-1: the injection channel)."""
+        return 0, num_vcs
+
+    def _eject(self, packet: Packet) -> tuple[int, int]:
+        return self.topology.ejection_port(packet.dst), 0

@@ -1,0 +1,32 @@
+"""Topologies for the on-chip network (paper Sections V and VII.A)."""
+
+from .base import Channel, Endpoint, GridTopology, Topology
+from .fbfly import FlattenedButterfly
+from .mecs import Mecs
+from .mesh import ConcentratedMesh, Mesh
+
+__all__ = [
+    "Channel",
+    "ConcentratedMesh",
+    "Endpoint",
+    "FlattenedButterfly",
+    "GridTopology",
+    "Mecs",
+    "Mesh",
+    "Topology",
+    "make_topology",
+]
+
+
+def make_topology(name: str, kx: int, ky: int,
+                  concentration: int = 1) -> Topology:
+    """Factory keyed by topology name ('mesh'|'cmesh'|'fbfly'|'mecs')."""
+    if name == "mesh":
+        return Mesh(kx, ky, concentration)
+    if name == "cmesh":
+        return ConcentratedMesh(kx, ky, concentration)
+    if name == "fbfly":
+        return FlattenedButterfly(kx, ky, concentration)
+    if name == "mecs":
+        return Mecs(kx, ky, concentration)
+    raise ValueError(f"unknown topology {name!r}")

@@ -1,0 +1,167 @@
+"""Topology abstraction.
+
+A topology describes routers, the terminals attached to each router, and the
+channels between routers. Channels are point-to-multipoint to support MECS
+(Multidrop Express Cubes); ordinary topologies use a single endpoint per
+channel.
+
+Port numbering convention (both input and output sides):
+
+* ports ``0 .. num_network_{in,out}ports-1`` are network ports,
+* ports ``num_network_ports .. +concentration-1`` are terminal (local)
+  injection/ejection ports, one per attached terminal.
+
+Input and output port counts may differ (MECS has 4 directional output ports
+but one input tap per upstream router).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One drop point of a channel: (router, input port, wire latency)."""
+
+    router: int
+    in_port: int
+    latency: int
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A unidirectional channel from one router output port."""
+
+    src_router: int
+    src_port: int
+    endpoints: tuple[Endpoint, ...]
+
+    def __post_init__(self):
+        if not self.endpoints:
+            raise ValueError("channel must have at least one endpoint")
+
+
+class Topology:
+    """Base class; subclasses fill in the structural queries."""
+
+    name = "abstract"
+
+    # -- sizes --------------------------------------------------------------
+
+    @property
+    def num_routers(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def concentration(self) -> int:
+        """Terminals attached to each router."""
+        raise NotImplementedError
+
+    @property
+    def num_terminals(self) -> int:
+        return self.num_routers * self.concentration
+
+    def num_network_inports(self, router: int) -> int:
+        raise NotImplementedError
+
+    def num_network_outports(self, router: int) -> int:
+        raise NotImplementedError
+
+    def num_inports(self, router: int) -> int:
+        return self.num_network_inports(router) + self.concentration
+
+    def num_outports(self, router: int) -> int:
+        return self.num_network_outports(router) + self.concentration
+
+    # -- terminals ----------------------------------------------------------
+
+    def terminal_router(self, terminal: int) -> int:
+        self._check_terminal(terminal)
+        return terminal // self.concentration
+
+    def terminal_local_index(self, terminal: int) -> int:
+        self._check_terminal(terminal)
+        return terminal % self.concentration
+
+    def injection_port(self, terminal: int) -> int:
+        """Input port of the terminal's router used by its NIC."""
+        router = self.terminal_router(terminal)
+        return (self.num_network_inports(router)
+                + self.terminal_local_index(terminal))
+
+    def ejection_port(self, terminal: int) -> int:
+        """Output port of the terminal's router that reaches its NIC."""
+        router = self.terminal_router(terminal)
+        return (self.num_network_outports(router)
+                + self.terminal_local_index(terminal))
+
+    def _check_terminal(self, terminal: int) -> None:
+        if not 0 <= terminal < self.num_terminals:
+            raise ValueError(
+                f"terminal {terminal} out of range (<{self.num_terminals})")
+
+    # -- channels -----------------------------------------------------------
+
+    def channels(self) -> list[Channel]:
+        """All inter-router channels."""
+        raise NotImplementedError
+
+    # -- geometry (grid topologies) ------------------------------------------
+
+    def coords(self, router: int) -> tuple[int, int]:
+        raise NotImplementedError
+
+    def router_at(self, x: int, y: int) -> int:
+        raise NotImplementedError
+
+    def average_hops(self) -> float:
+        """Average minimal router-to-router hop count over terminal pairs.
+
+        Used for reporting (paper Sec. 7.A: T = H_avg * t_router + ...).
+        Subclasses provide ``min_hops``.
+        """
+        total = 0
+        count = 0
+        for s in range(self.num_terminals):
+            rs = self.terminal_router(s)
+            for d in range(self.num_terminals):
+                if s == d:
+                    continue
+                total += self.min_hops(rs, self.terminal_router(d))
+                count += 1
+        return total / count if count else 0.0
+
+    def min_hops(self, src_router: int, dst_router: int) -> int:
+        raise NotImplementedError
+
+
+class GridTopology(Topology):
+    """Shared machinery for kx-by-ky grid-based topologies."""
+
+    def __init__(self, kx: int, ky: int, concentration: int):
+        if kx < 2 or ky < 2:
+            raise ValueError("grid topologies need at least 2x2 routers")
+        if concentration < 1:
+            raise ValueError("concentration must be >= 1")
+        self.kx = kx
+        self.ky = ky
+        self._concentration = concentration
+
+    @property
+    def num_routers(self) -> int:
+        return self.kx * self.ky
+
+    @property
+    def concentration(self) -> int:
+        return self._concentration
+
+    def coords(self, router: int) -> tuple[int, int]:
+        if not 0 <= router < self.num_routers:
+            raise ValueError(f"router {router} out of range")
+        return router % self.kx, router // self.kx
+
+    def router_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.kx and 0 <= y < self.ky):
+            raise ValueError(f"coordinates ({x},{y}) out of range")
+        return y * self.kx + x

@@ -1,0 +1,69 @@
+"""Flattened butterfly topology (Kim, Balfour & Dally, MICRO 2007).
+
+Every router connects directly to every other router in its row and in its
+column, so any destination is at most 2 network hops away (one per
+dimension). Network port layout per router: first the row peers in
+increasing x (excluding self), then the column peers in increasing y.
+Express channel wire latency scales with the grid distance spanned.
+"""
+
+from __future__ import annotations
+
+from .base import Channel, Endpoint, GridTopology
+
+
+class FlattenedButterfly(GridTopology):
+    name = "fbfly"
+
+    def __init__(self, kx: int, ky: int, concentration: int = 4):
+        super().__init__(kx, ky, concentration)
+
+    def num_network_inports(self, router: int) -> int:
+        return (self.kx - 1) + (self.ky - 1)
+
+    def num_network_outports(self, router: int) -> int:
+        return (self.kx - 1) + (self.ky - 1)
+
+    def port_to(self, router: int, other: int) -> int:
+        """Network port of ``router`` on the channel to/from ``other``.
+
+        Symmetric: the same index serves the outgoing channel toward
+        ``other`` and the incoming channel from ``other``.
+        """
+        x, y = self.coords(router)
+        ox, oy = self.coords(other)
+        if oy == y and ox != x:
+            return ox if ox < x else ox - 1
+        if ox == x and oy != y:
+            base = self.kx - 1
+            return base + (oy if oy < y else oy - 1)
+        raise ValueError(
+            f"routers {router} and {other} are not directly connected")
+
+    def row_peers(self, router: int) -> list[int]:
+        x, y = self.coords(router)
+        return [self.router_at(i, y) for i in range(self.kx) if i != x]
+
+    def col_peers(self, router: int) -> list[int]:
+        x, y = self.coords(router)
+        return [self.router_at(x, j) for j in range(self.ky) if j != y]
+
+    def channels(self) -> list[Channel]:
+        out = []
+        for r in range(self.num_routers):
+            rx, ry = self.coords(r)
+            for peer in self.row_peers(r) + self.col_peers(r):
+                px, py = self.coords(peer)
+                dist = abs(px - rx) + abs(py - ry)
+                out.append(Channel(
+                    src_router=r,
+                    src_port=self.port_to(r, peer),
+                    endpoints=(Endpoint(router=peer,
+                                        in_port=self.port_to(peer, r),
+                                        latency=dist),)))
+        return out
+
+    def min_hops(self, src_router: int, dst_router: int) -> int:
+        sx, sy = self.coords(src_router)
+        dx, dy = self.coords(dst_router)
+        return (sx != dx) + (sy != dy)

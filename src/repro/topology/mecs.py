@@ -1,0 +1,79 @@
+"""Multidrop Express Cube (MECS) topology (Grot et al., HPCA 2009).
+
+Like the flattened butterfly, every router can reach every router in its row
+and column in one network hop — but through *multidrop* channels: a router
+drives only four output channels (one per direction), and each channel passes
+every router in that direction, any of which can be the drop point. This
+keeps crossbar complexity low (4 network output ports) while input taps grow
+with the row/column length, exactly the "no replicated channels" MECS
+configuration the paper evaluates.
+
+Output ports: E=0, W=1, N=2, S=3. Input ports: one tap per possible source
+router, ordered row peers by x then column peers by y (same layout as the
+flattened butterfly input side).
+"""
+
+from __future__ import annotations
+
+from .base import Channel, Endpoint, GridTopology
+
+EAST, WEST, NORTH, SOUTH = 0, 1, 2, 3
+
+
+class Mecs(GridTopology):
+    name = "mecs"
+
+    def __init__(self, kx: int, ky: int, concentration: int = 4):
+        super().__init__(kx, ky, concentration)
+
+    def num_network_inports(self, router: int) -> int:
+        return (self.kx - 1) + (self.ky - 1)
+
+    def num_network_outports(self, router: int) -> int:
+        return 4
+
+    def inport_from(self, router: int, source: int) -> int:
+        """Input tap of ``router`` fed by the channel from ``source``."""
+        x, y = self.coords(router)
+        sx, sy = self.coords(source)
+        if sy == y and sx != x:
+            return sx if sx < x else sx - 1
+        if sx == x and sy != y:
+            base = self.kx - 1
+            return base + (sy if sy < y else sy - 1)
+        raise ValueError(
+            f"router {source} cannot reach {router} on one channel")
+
+    def drops(self, router: int, direction: int) -> list[int]:
+        """Routers reachable on ``router``'s channel in ``direction``,
+        nearest first (drop index 0 is the adjacent router)."""
+        x, y = self.coords(router)
+        if direction == EAST:
+            return [self.router_at(i, y) for i in range(x + 1, self.kx)]
+        if direction == WEST:
+            return [self.router_at(i, y) for i in range(x - 1, -1, -1)]
+        if direction == NORTH:
+            return [self.router_at(x, j) for j in range(y + 1, self.ky)]
+        if direction == SOUTH:
+            return [self.router_at(x, j) for j in range(y - 1, -1, -1)]
+        raise ValueError(f"bad direction {direction}")
+
+    def channels(self) -> list[Channel]:
+        out = []
+        for r in range(self.num_routers):
+            for d in range(4):
+                drops = self.drops(r, d)
+                if not drops:
+                    continue
+                endpoints = tuple(
+                    Endpoint(router=t, in_port=self.inport_from(t, r),
+                             latency=i + 1)
+                    for i, t in enumerate(drops))
+                out.append(Channel(src_router=r, src_port=d,
+                                   endpoints=endpoints))
+        return out
+
+    def min_hops(self, src_router: int, dst_router: int) -> int:
+        sx, sy = self.coords(src_router)
+        dx, dy = self.coords(dst_router)
+        return (sx != dx) + (sy != dy)

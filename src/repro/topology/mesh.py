@@ -1,0 +1,79 @@
+"""2D mesh and concentrated mesh topologies.
+
+Directional ports use the fixed order E=0, W=1, N=2, S=3 ("north" is +y).
+Edge routers still have four network ports; ports without a channel are
+simply never selected by routing. The concentrated mesh (Balfour & Dally,
+2006) attaches ``concentration`` terminals per router; the paper's CMP uses
+a 4x4 cmesh with 2 cores + 2 L2 banks per router.
+"""
+
+from __future__ import annotations
+
+from .base import Channel, Endpoint, GridTopology
+
+EAST, WEST, NORTH, SOUTH = 0, 1, 2, 3
+DIRECTION_NAMES = ("E", "W", "N", "S")
+
+
+class Mesh(GridTopology):
+    """kx-by-ky 2D mesh with ``concentration`` terminals per router."""
+
+    name = "mesh"
+
+    def __init__(self, kx: int, ky: int, concentration: int = 1):
+        super().__init__(kx, ky, concentration)
+
+    def num_network_inports(self, router: int) -> int:
+        return 4
+
+    def num_network_outports(self, router: int) -> int:
+        return 4
+
+    def neighbor(self, router: int, direction: int) -> int | None:
+        """Adjacent router in ``direction`` or None at the mesh edge."""
+        x, y = self.coords(router)
+        if direction == EAST:
+            return self.router_at(x + 1, y) if x + 1 < self.kx else None
+        if direction == WEST:
+            return self.router_at(x - 1, y) if x - 1 >= 0 else None
+        if direction == NORTH:
+            return self.router_at(x, y + 1) if y + 1 < self.ky else None
+        if direction == SOUTH:
+            return self.router_at(x, y - 1) if y - 1 >= 0 else None
+        raise ValueError(f"bad direction {direction}")
+
+    @staticmethod
+    def opposite(direction: int) -> int:
+        return {EAST: WEST, WEST: EAST, NORTH: SOUTH, SOUTH: NORTH}[direction]
+
+    def channels(self) -> list[Channel]:
+        out = []
+        for r in range(self.num_routers):
+            for d in range(4):
+                n = self.neighbor(r, d)
+                if n is None:
+                    continue
+                # A flit leaving r toward d arrives at n on the port facing r.
+                out.append(Channel(
+                    src_router=r, src_port=d,
+                    endpoints=(Endpoint(router=n,
+                                        in_port=self.opposite(d),
+                                        latency=1),)))
+        return out
+
+    def min_hops(self, src_router: int, dst_router: int) -> int:
+        sx, sy = self.coords(src_router)
+        dx, dy = self.coords(dst_router)
+        return abs(sx - dx) + abs(sy - dy)
+
+
+class ConcentratedMesh(Mesh):
+    """Mesh with >1 terminals per router (paper: 4x4, concentration 4)."""
+
+    name = "cmesh"
+
+    def __init__(self, kx: int, ky: int, concentration: int = 4):
+        if concentration < 2:
+            raise ValueError(
+                "a concentrated mesh needs concentration >= 2; use Mesh")
+        super().__init__(kx, ky, concentration)

@@ -1,0 +1,18 @@
+"""Traffic models: synthetic patterns, benchmark profiles, trace replay."""
+
+from .benchmarks import BENCHMARKS, PROFILES, BenchmarkProfile, get_profile
+from .synthetic import PAPER_PATTERNS, SyntheticTraffic, destination_function
+from .trace import Trace, TraceRecord, TraceReplayTraffic
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkProfile",
+    "PAPER_PATTERNS",
+    "PROFILES",
+    "SyntheticTraffic",
+    "Trace",
+    "TraceRecord",
+    "TraceReplayTraffic",
+    "destination_function",
+    "get_profile",
+]

@@ -1,0 +1,126 @@
+"""Synthetic workload traffic (paper Section VI.B).
+
+The paper evaluates three patterns on an 8x8 mesh with 5-flit packets:
+
+* **uniform random (UR)** — every injection picks a fresh uniformly random
+  destination, giving equal utilization of all links;
+* **bit complement (BC)** — node ``s`` always sends to ``~s``; longer
+  average Manhattan distance, so the network saturates earlier;
+* **bit permutation (BP)** — matrix transpose; same average distance as UR
+  but all traffic crosses the diagonal, saturating earliest under DOR.
+
+Injection is open-loop Bernoulli: each terminal starts a packet with
+probability ``rate / packet_size`` per cycle so that ``rate`` is the offered
+load in flits/node/cycle. A few extra classic patterns (tornado, shuffle,
+hotspot, neighbor) are provided beyond the paper's set.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..network.flit import Packet
+
+
+class SyntheticTraffic:
+    """Open-loop Bernoulli injection with a fixed destination pattern."""
+
+    def __init__(self, pattern: str, num_terminals: int, rate: float,
+                 packet_size: int = 5, seed: int = 42):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0,1] flits/node/cycle: {rate}")
+        if num_terminals < 2:
+            raise ValueError("need at least two terminals")
+        if packet_size < 1:
+            raise ValueError("packet_size must be >= 1")
+        self.pattern = pattern
+        self.num_terminals = num_terminals
+        self.rate = rate
+        self.packet_size = packet_size
+        self.rng = random.Random(seed)
+        self._dest_fn = destination_function(pattern, num_terminals)
+        self.generated = 0
+
+    def tick(self, network, cycle: int) -> None:
+        prob = self.rate / self.packet_size
+        rng = self.rng
+        for src in range(self.num_terminals):
+            if rng.random() >= prob:
+                continue
+            dst = self._dest_fn(src, rng)
+            if dst is None or dst == src:
+                continue
+            network.inject(Packet(src, dst, self.packet_size, cycle))
+            self.generated += 1
+
+
+def _bits_for(n: int) -> int:
+    bits = (n - 1).bit_length()
+    if 1 << bits != n:
+        raise ValueError(
+            f"bit-based patterns need a power-of-two terminal count, got {n}")
+    return bits
+
+
+def destination_function(pattern: str, num_terminals: int):
+    """Return ``f(src, rng) -> dst | None`` for a named pattern."""
+    n = num_terminals
+
+    if pattern in ("uniform", "ur", "uniform_random"):
+        def uniform(src: int, rng: random.Random) -> int:
+            dst = rng.randrange(n - 1)
+            return dst if dst < src else dst + 1
+        return uniform
+
+    if pattern in ("bitcomp", "bc", "bit_complement"):
+        mask = n - 1
+        _bits_for(n)
+        return lambda src, rng: (~src) & mask
+
+    if pattern in ("transpose", "bp", "bit_permutation"):
+        bits = _bits_for(n)
+        if bits % 2:
+            raise ValueError("transpose needs an even number of id bits")
+        half = bits // 2
+        lo_mask = (1 << half) - 1
+
+        def transpose(src: int, rng: random.Random) -> int | None:
+            dst = ((src & lo_mask) << half) | (src >> half)
+            return None if dst == src else dst
+        return transpose
+
+    if pattern == "tornado":
+        def tornado(src: int, rng: random.Random) -> int:
+            return (src + (n // 2 - 1)) % n
+        return tornado
+
+    if pattern == "shuffle":
+        bits = _bits_for(n)
+        mask = n - 1
+
+        def shuffle(src: int, rng: random.Random) -> int | None:
+            dst = ((src << 1) | (src >> (bits - 1))) & mask
+            return None if dst == src else dst
+        return shuffle
+
+    if pattern == "neighbor":
+        def neighbor(src: int, rng: random.Random) -> int:
+            return (src + 1) % n
+        return neighbor
+
+    if pattern == "hotspot":
+        # 50% of traffic targets a small set of hot terminals.
+        hot = [0, n // 2]
+
+        def hotspot(src: int, rng: random.Random) -> int:
+            if rng.random() < 0.5:
+                dst = rng.choice(hot)
+            else:
+                dst = rng.randrange(n)
+            return None if dst == src else dst
+        return hotspot
+
+    raise ValueError(f"unknown traffic pattern {pattern!r}")
+
+
+PAPER_PATTERNS = ("uniform", "bitcomp", "transpose")

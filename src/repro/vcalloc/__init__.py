@@ -1,0 +1,21 @@
+"""VC allocation policies (dynamic and static, paper Section V)."""
+
+from .base import VCAllocationPolicy
+from .dynamic import DynamicVCAllocation
+from .static import StaticVCAllocation
+
+__all__ = [
+    "DynamicVCAllocation",
+    "StaticVCAllocation",
+    "VCAllocationPolicy",
+    "make_vc_policy",
+]
+
+
+def make_vc_policy(name: str) -> VCAllocationPolicy:
+    """Factory keyed by policy name ('dynamic'|'static')."""
+    if name == "dynamic":
+        return DynamicVCAllocation()
+    if name == "static":
+        return StaticVCAllocation()
+    raise ValueError(f"unknown VC allocation policy {name!r}")

@@ -1,0 +1,39 @@
+"""Static VC allocation: the output VC is a function of the destination.
+
+Two flows with the same destination always share the same VC at every input
+port, so flows that merge onto a common path keep reusing the same
+pseudo-circuit in every shared router (paper Section V; similar in spirit to
+Shim et al.'s static VC allocation but hashed on destination id only, to
+maximize pseudo-circuit reusability). The packet waits if its designated VC
+is occupied by another packet.
+"""
+
+from __future__ import annotations
+
+from ..network.flit import Packet
+from .base import VCAllocationPolicy
+
+
+class StaticVCAllocation(VCAllocationPolicy):
+    name = "static"
+
+    def allocate(self, ovc_states, packet: Packet, lo: int, hi: int,
+                 ejection: bool = False) -> int | None:
+        self._check_range(ovc_states, lo, hi)
+        if ejection:
+            # The VC into the NIC cannot influence crossbar reuse anywhere,
+            # so pinning it would only serialize delivery; fall back to a
+            # free-VC choice there.
+            for vc in range(lo, hi):
+                if ovc_states[vc].free:
+                    return vc
+            return None
+        vc = lo + packet.dst % (hi - lo)
+        if ovc_states[vc].free:
+            return vc
+        return None
+
+    @staticmethod
+    def designated_vc(dst: int, lo: int, hi: int) -> int:
+        """The VC a packet to ``dst`` always uses within class [lo, hi)."""
+        return lo + dst % (hi - lo)

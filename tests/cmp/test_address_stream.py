@@ -1,0 +1,83 @@
+"""Unit tests for profile-driven address streams."""
+
+import random
+from collections import Counter
+
+from repro.cmp.address_stream import (ACCESSES_PER_BLOCK, PRIVATE_STRIDE,
+                                      AddressStream, rng_geometric)
+from repro.traffic.benchmarks import get_profile
+
+
+def stream(bench="fma3d", core=0, seed=1):
+    return AddressStream(get_profile(bench), core, num_banks=32, seed=seed)
+
+
+def test_deterministic_for_same_seed():
+    a = [stream(seed=5).next_access() for _ in range(200)]
+    b = [stream(seed=5).next_access() for _ in range(200)]
+    assert a == b
+
+
+def test_different_cores_diverge():
+    s0, s1 = stream(core=0), stream(core=1)
+    a = [s0.next_access()[0] for _ in range(100)]
+    b = [s1.next_access()[0] for _ in range(100)]
+    assert a != b
+
+
+def test_private_blocks_in_core_region():
+    s = stream(core=3)
+    ws = s.profile.working_set_blocks
+    for _ in range(500):
+        block, _ = s.next_access()
+        private = block >= PRIVATE_STRIDE
+        if private:
+            assert (3 + 1) * PRIVATE_STRIDE <= block \
+                < 4 * PRIVATE_STRIDE + ws
+
+
+def test_write_fraction_matches_profile():
+    s = stream("radix")  # read_frac 0.60
+    writes = sum(1 for _ in range(4000) if s.next_access()[1])
+    assert 0.3 < writes / 4000 < 0.5
+
+
+def test_block_reuse_within_stream():
+    """Spatial locality: consecutive accesses frequently hit one block."""
+    s = stream("mgrid")
+    repeats = 0
+    prev = None
+    for _ in range(2000):
+        block, _ = s.next_access()
+        repeats += block == prev
+        prev = block
+    assert repeats / 2000 > 0.5  # mean ~8 touches per block
+
+
+def test_bank_skew_creates_hotspots():
+    skewed = stream("specjbb")
+    uniform = stream("streamcluster")
+
+    def bank_share(s):
+        """Distribution of fresh shared-region blocks over home banks."""
+        ws = s.profile.working_set_blocks
+        counts = Counter(s.home_bank(s._shared_block(ws))
+                         for _ in range(4000))
+        return max(counts.values()) / 4000
+
+    assert bank_share(skewed) > 2.5 * bank_share(uniform)
+    # Uniform profiles spread roughly evenly over the 32 banks.
+    assert bank_share(uniform) < 0.10
+
+
+def test_geometric_mean_approximation():
+    rng = random.Random(3)
+    samples = [rng_geometric(rng, 8.0) for _ in range(20000)]
+    mean = sum(samples) / len(samples)
+    assert 7.0 < mean < 9.0
+    assert min(samples) >= 1
+
+
+def test_geometric_degenerate_mean():
+    rng = random.Random(0)
+    assert rng_geometric(rng, 1.0) == 1

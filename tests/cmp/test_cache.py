@@ -1,0 +1,86 @@
+"""Unit and property tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cmp.cache import SetAssociativeCache
+
+
+def cache(size=1024, assoc=2, block=64):
+    return SetAssociativeCache(size, assoc, block)
+
+
+class TestBasics:
+    def test_geometry(self):
+        c = cache(size=32 * 1024, assoc=4)
+        assert c.num_sets == 128
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, 3, 64)
+
+    def test_miss_then_hit(self):
+        c = cache()
+        assert not c.lookup(7)
+        c.fill(7)
+        assert c.lookup(7)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_contains_has_no_side_effects(self):
+        c = cache()
+        c.fill(7)
+        assert c.contains(7)
+        assert c.hits == 0 and c.misses == 0
+
+    def test_invalidate(self):
+        c = cache()
+        c.fill(7)
+        assert c.invalidate(7)
+        assert not c.contains(7)
+        assert not c.invalidate(7)
+
+
+class TestLru:
+    def test_eviction_is_lru(self):
+        c = cache(size=128, assoc=2, block=64)  # 1 set, 2 ways
+        c.fill(0)
+        c.fill(1)
+        c.lookup(0)          # 0 becomes MRU
+        victim = c.fill(2)
+        assert victim == 1   # LRU evicted
+
+    def test_refill_does_not_evict(self):
+        c = cache(size=128, assoc=2, block=64)
+        c.fill(0)
+        c.fill(1)
+        assert c.fill(0) is None
+        assert c.contains(1)
+
+    def test_occupancy_bounded_by_capacity(self):
+        c = cache(size=256, assoc=2, block=64)  # 4 blocks total
+        for b in range(20):
+            c.fill(b)
+        assert c.occupancy <= 4
+
+
+@given(st.lists(st.integers(0, 300), min_size=1, max_size=300))
+def test_property_occupancy_and_membership(blocks):
+    """Property: occupancy never exceeds capacity, and the most recently
+    filled block of a set is always present."""
+    c = SetAssociativeCache(512, 2, 64)  # 8 blocks, 4 sets
+    for b in blocks:
+        c.fill(b)
+        assert c.contains(b)
+        assert c.occupancy <= 8
+
+
+@given(st.lists(st.tuples(st.sampled_from(["fill", "inv"]),
+                          st.integers(0, 50)), max_size=200))
+def test_property_invalidate_removes(ops):
+    c = SetAssociativeCache(256, 4, 64)
+    for op, b in ops:
+        if op == "fill":
+            c.fill(b)
+        else:
+            c.invalidate(b)
+            assert not c.contains(b)

@@ -1,0 +1,163 @@
+"""Unit tests for the core and L2 bank coherence endpoints."""
+
+import random
+
+import pytest
+
+from repro.cmp.address_stream import AddressStream
+from repro.cmp.config import CmpConfig
+from repro.cmp.endpoints import Core, L2Bank
+from repro.cmp.messages import (INV_ACK, INVAL, READ_REQ, READ_RESP,
+                                WRITE_ACK, WRITE_REQ)
+from repro.network.flit import Packet
+from repro.traffic.benchmarks import get_profile
+
+
+class FakeSystem:
+    """Captures sends and routes blocks to a single fake bank terminal."""
+
+    def __init__(self):
+        self.sent = []
+
+    def bank_terminal_for(self, block):
+        return 100 + block % 4
+
+    def send(self, src, dst, msg_type, block, cycle, payload=None):
+        self.sent.append((src, dst, msg_type,
+                          payload if payload is not None else block))
+
+
+def make_core(core_id=0):
+    cfg = CmpConfig()
+    stream = AddressStream(get_profile("fma3d"), core_id, 32, seed=1)
+    return Core(core_id, terminal=core_id, config=cfg, stream=stream,
+                rng=random.Random(0)), cfg
+
+
+def fake_packet(src, dst, msg_type, payload):
+    p = Packet(src, dst, 1, 0, msg_type=msg_type, payload=payload)
+    return p
+
+
+class TestCore:
+    def test_read_miss_sends_request(self):
+        core, _ = make_core()
+        system = FakeSystem()
+        core._issue(system, 0, block=10, is_write=False)
+        assert system.sent == [(0, 100 + 10 % 4, READ_REQ, 10)]
+
+    def test_read_hit_after_fill_is_silent(self):
+        core, _ = make_core()
+        system = FakeSystem()
+        core._issue(system, 0, 10, False)
+        core.on_message(system, fake_packet(100, 0, READ_RESP, 10), 5)
+        system.sent.clear()
+        core._issue(system, 6, 10, False)
+        assert system.sent == []
+        assert core.l1_hits == 1
+
+    def test_write_always_reaches_network(self):
+        core, _ = make_core()
+        system = FakeSystem()
+        core._issue(system, 0, 10, False)
+        core.on_message(system, fake_packet(100, 0, READ_RESP, 10), 5)
+        system.sent.clear()
+        core._issue(system, 6, 10, True)  # L1 hit, but write-through
+        assert system.sent[0][2] == WRITE_REQ
+        assert system.sent[0][3] == (10, True)  # keeps its L1 copy
+
+    def test_writes_coalesce_while_outstanding(self):
+        core, _ = make_core()
+        system = FakeSystem()
+        core._issue(system, 0, 10, True)
+        core._issue(system, 1, 10, True)
+        assert len(system.sent) == 1
+
+    def test_mshr_exhaustion_stalls(self):
+        core, cfg = make_core()
+        system = FakeSystem()
+        for b in range(cfg.mshrs_per_core):
+            core._issue(system, 0, b, False)
+        core._issue(system, 1, 99, False)
+        assert core._stalled == (99, False)
+
+    def test_inval_clears_l1_and_acks(self):
+        core, _ = make_core()
+        system = FakeSystem()
+        core._issue(system, 0, 10, False)
+        core.on_message(system, fake_packet(100, 0, READ_RESP, 10), 5)
+        core.on_message(system, fake_packet(100, 0, INVAL, 10), 9)
+        assert not core.l1.contains(10)
+        assert system.sent[-1][2] == INV_ACK
+
+
+class TestL2Bank:
+    def make_bank(self, miss_rate=0.0):
+        return L2Bank(0, terminal=100, config=CmpConfig(),
+                      l2_miss_rate=miss_rate, rng=random.Random(1))
+
+    def test_read_response_after_bank_latency(self):
+        bank = self.make_bank()
+        system = FakeSystem()
+        bank.on_message(system, fake_packet(0, 100, READ_REQ, 7), cycle=0)
+        bank.tick(system, 9)
+        assert system.sent == []
+        bank.tick(system, 10)
+        assert system.sent == [(100, 0, READ_RESP, 7)]
+        assert bank.directory[7] == {0}
+
+    def test_l2_miss_adds_memory_latency(self):
+        bank = self.make_bank(miss_rate=1.0)
+        system = FakeSystem()
+        bank.on_message(system, fake_packet(0, 100, READ_REQ, 7), 0)
+        bank.tick(system, 10)
+        assert system.sent == []
+        bank.tick(system, 310)
+        assert system.sent[-1][2] == READ_RESP
+
+    def test_write_with_no_sharers_acks(self):
+        bank = self.make_bank()
+        system = FakeSystem()
+        bank.on_message(system, fake_packet(0, 100, WRITE_REQ, (7, False)),
+                        0)
+        bank.tick(system, 10)
+        assert system.sent == [(100, 0, WRITE_ACK, 7)]
+
+    def test_write_invalidates_sharers_then_acks(self):
+        bank = self.make_bank()
+        system = FakeSystem()
+        # Two sharers read block 7.
+        bank.on_message(system, fake_packet(1, 100, READ_REQ, 7), 0)
+        bank.on_message(system, fake_packet(2, 100, READ_REQ, 7), 0)
+        system.sent.clear()
+        bank.on_message(system, fake_packet(3, 100, WRITE_REQ, (7, True)), 1)
+        invals = [s for s in system.sent if s[2] == INVAL]
+        assert {s[1] for s in invals} == {1, 2}
+        # Acks arrive; only after both does the writer get its WRITE_ACK.
+        bank.on_message(system, fake_packet(1, 100, INV_ACK, 7), 5)
+        bank.tick(system, 50)
+        assert all(s[2] != WRITE_ACK for s in system.sent)
+        bank.on_message(system, fake_packet(2, 100, INV_ACK, 7), 6)
+        bank.tick(system, 50)
+        assert system.sent[-1] == (100, 3, WRITE_ACK, 7)
+        assert bank.directory[7] == {3}
+
+    def test_requests_behind_busy_block_are_serialized(self):
+        bank = self.make_bank()
+        system = FakeSystem()
+        bank.on_message(system, fake_packet(1, 100, READ_REQ, 7), 0)
+        bank.on_message(system, fake_packet(3, 100, WRITE_REQ, (7, False)),
+                        1)
+        system.sent.clear()
+        # While the write waits for sharer 1's ack, a new read queues.
+        bank.on_message(system, fake_packet(4, 100, READ_REQ, 7), 2)
+        assert all(s[2] != READ_RESP for s in system.sent)
+        bank.on_message(system, fake_packet(1, 100, INV_ACK, 7), 3)
+        bank.tick(system, 60)
+        kinds = [s[2] for s in system.sent]
+        assert WRITE_ACK in kinds and READ_RESP in kinds
+
+    def test_stray_ack_raises(self):
+        bank = self.make_bank()
+        with pytest.raises(RuntimeError):
+            bank.on_message(FakeSystem(), fake_packet(1, 100, INV_ACK, 9), 0)

@@ -1,0 +1,48 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.cmp.mshr import MshrFile
+
+
+def test_capacity_enforced():
+    m = MshrFile(2)
+    assert m.allocate(1, False)
+    assert m.allocate(2, False)
+    assert m.full
+    assert not m.allocate(3, False)
+    assert m.stalls == 1
+
+
+def test_merge_does_not_consume_entry():
+    m = MshrFile(1)
+    assert m.allocate(1, False)
+    assert m.allocate(1, True)  # merge into the same block
+    assert m.merges == 1
+    assert len(m) == 1
+
+
+def test_release_returns_merged_accesses():
+    m = MshrFile(4)
+    m.allocate(9, False)
+    m.allocate(9, True)
+    m.allocate(9, False)
+    assert m.release(9) == [False, True, False]
+    assert not m.outstanding(9)
+
+
+def test_release_unknown_raises():
+    with pytest.raises(KeyError):
+        MshrFile(1).release(5)
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        MshrFile(0)
+
+
+def test_freed_entry_reusable():
+    m = MshrFile(1)
+    m.allocate(1, False)
+    m.release(1)
+    assert m.allocate(2, False)

@@ -1,0 +1,31 @@
+"""Test fixtures and path setup."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import pytest
+
+from repro.metrics.stats import NetworkStats
+from repro.network.config import NetworkConfig
+from repro.network.flit import Packet
+
+
+@pytest.fixture
+def stats():
+    return NetworkStats()
+
+
+@pytest.fixture
+def config():
+    return NetworkConfig()
+
+
+def make_packet(src=0, dst=1, size=1, cycle=0, msg_type="data"):
+    return Packet(src, dst, size, cycle, msg_type=msg_type)
+
+
+@pytest.fixture
+def packet():
+    return make_packet()

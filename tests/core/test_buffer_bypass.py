@@ -1,0 +1,49 @@
+"""Unit tests for the buffer-bypass eligibility predicate."""
+
+from repro.core.buffer_bypass import can_bypass
+from repro.core.pseudo_circuit import PseudoCircuitRegister
+from repro.network.flit import Packet
+
+
+def flits(size=5):
+    return Packet(0, 1, size, 0).make_flits()
+
+
+def warm_reg(vc=1, out=2):
+    reg = PseudoCircuitRegister()
+    reg.establish(vc, out)
+    return reg
+
+
+def test_head_needs_full_match():
+    head = flits()[0]
+    reg = warm_reg(vc=1, out=2)
+    assert can_bypass(reg, head, vc=1, out_port=2, buffer_empty=True)
+    assert not can_bypass(reg, head, vc=0, out_port=2, buffer_empty=True)
+    assert not can_bypass(reg, head, vc=1, out_port=3, buffer_empty=True)
+
+
+def test_body_needs_vc_only():
+    body = flits()[1]
+    reg = warm_reg(vc=1, out=2)
+    assert can_bypass(reg, body, vc=1, out_port=99, buffer_empty=True)
+    assert not can_bypass(reg, body, vc=0, out_port=2, buffer_empty=True)
+
+
+def test_occupied_buffer_blocks_bypass():
+    head = flits()[0]
+    reg = warm_reg(vc=1, out=2)
+    assert not can_bypass(reg, head, vc=1, out_port=2, buffer_empty=False)
+
+
+def test_invalid_circuit_blocks_bypass():
+    head = flits()[0]
+    reg = warm_reg(vc=1, out=2)
+    reg.invalidate()
+    assert not can_bypass(reg, head, vc=1, out_port=2, buffer_empty=True)
+
+
+def test_single_flit_packet_is_a_head():
+    single = flits(size=1)[0]
+    reg = warm_reg(vc=0, out=4)
+    assert can_bypass(reg, single, vc=0, out_port=4, buffer_empty=True)

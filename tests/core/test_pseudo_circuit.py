@@ -1,0 +1,73 @@
+"""Unit tests for the pseudo-circuit register and comparator."""
+
+import pytest
+
+from repro.core.pseudo_circuit import PseudoCircuitRegister, Termination
+
+
+class TestRegister:
+    def test_initially_invalid(self):
+        reg = PseudoCircuitRegister()
+        assert not reg.valid
+        assert reg.in_vc == -1 and reg.out_port == -1
+
+    def test_establish(self):
+        reg = PseudoCircuitRegister()
+        reg.establish(in_vc=2, out_port=3)
+        assert reg.valid and reg.in_vc == 2 and reg.out_port == 3
+
+    def test_invalidate_keeps_contents(self):
+        reg = PseudoCircuitRegister()
+        reg.establish(1, 4)
+        reg.invalidate()
+        assert not reg.valid
+        assert reg.in_vc == 1 and reg.out_port == 4  # speculation needs this
+
+    def test_restore_revalidates(self):
+        reg = PseudoCircuitRegister()
+        reg.establish(1, 4)
+        reg.invalidate()
+        reg.restore()
+        assert reg.valid and reg.out_port == 4
+
+    def test_restore_requires_history(self):
+        with pytest.raises(RuntimeError):
+            PseudoCircuitRegister().restore()
+
+    def test_reestablish_overwrites(self):
+        reg = PseudoCircuitRegister()
+        reg.establish(0, 1)
+        reg.establish(3, 2)
+        assert reg.in_vc == 3 and reg.out_port == 2
+
+
+class TestComparator:
+    def test_head_match_needs_vc_and_route(self):
+        reg = PseudoCircuitRegister()
+        reg.establish(2, 3)
+        assert reg.matches_head(2, 3)
+        assert not reg.matches_head(1, 3)   # wrong VC
+        assert not reg.matches_head(2, 1)   # wrong output
+        reg.invalidate()
+        assert not reg.matches_head(2, 3)   # invalid
+
+    def test_body_match_needs_vc_only(self):
+        reg = PseudoCircuitRegister()
+        reg.establish(2, 3)
+        assert reg.matches_body(2)
+        assert not reg.matches_body(0)
+
+    def test_route_conflict_detection(self):
+        reg = PseudoCircuitRegister()
+        reg.establish(2, 3)
+        assert reg.conflicts_with_route(2, 1)       # same VC, other output
+        assert not reg.conflicts_with_route(2, 3)   # exact match
+        assert not reg.conflicts_with_route(0, 1)   # other VC: ignored
+        reg.invalidate()
+        assert not reg.conflicts_with_route(2, 1)
+
+
+def test_termination_reasons_enumerated():
+    names = {t.value for t in Termination}
+    assert {"conflict_output", "conflict_input", "route_mismatch",
+            "no_credit"} <= names

@@ -1,0 +1,60 @@
+"""Unit tests for the Orion-style energy model (Table II, Fig. 11)."""
+
+import pytest
+
+from repro.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.metrics.stats import NetworkStats
+
+
+class TestTable2:
+    def test_component_shares_match_paper(self):
+        shares = {name: share for name, (_, share)
+                  in DEFAULT_ENERGY_MODEL.component_breakdown().items()}
+        assert shares["buffer"] == pytest.approx(0.234, abs=0.002)
+        assert shares["crossbar"] == pytest.approx(0.7622, abs=0.002)
+        assert shares["arbiter"] == pytest.approx(0.0024, abs=0.001)
+
+    def test_crossbar_value_from_table(self):
+        pj, _ = DEFAULT_ENERGY_MODEL.component_breakdown()["crossbar"]
+        assert pj == pytest.approx(6.38)
+
+    def test_per_hop_total(self):
+        model = DEFAULT_ENERGY_MODEL
+        assert model.per_hop_baseline_pj() == pytest.approx(
+            0.98 * 2 + 6.38 + 0.02)
+
+
+class TestAccounting:
+    def test_router_energy_from_counts(self):
+        stats = NetworkStats()
+        stats.buffer_writes = 10
+        stats.buffer_reads = 8
+        stats.flit_hops = 12
+        stats.sa_arbitrations = 9
+        energy = DEFAULT_ENERGY_MODEL.router_energy(stats)
+        assert energy["buffer"] == pytest.approx(18 * 0.98)
+        assert energy["crossbar"] == pytest.approx(12 * 6.38)
+        assert energy["arbiter"] == pytest.approx(9 * 0.02)
+        assert energy["total"] == pytest.approx(
+            energy["buffer"] + energy["crossbar"] + energy["arbiter"])
+
+    def test_bypassed_flits_save_buffer_energy(self):
+        """A flit hop with buffer bypass charges the crossbar only."""
+        base, bypass = NetworkStats(), NetworkStats()
+        for s in (base, bypass):
+            s.flit_hops = 100
+        base.buffer_writes = base.buffer_reads = 100
+        base.sa_arbitrations = 100
+        bypass.buffer_writes = bypass.buffer_reads = 60   # 40% bypassed
+        bypass.sa_arbitrations = 60
+        model = DEFAULT_ENERGY_MODEL
+        assert model.energy_per_flit_hop(bypass) < \
+            model.energy_per_flit_hop(base)
+
+    def test_zero_hops(self):
+        assert DEFAULT_ENERGY_MODEL.energy_per_flit_hop(NetworkStats()) == 0
+
+    def test_custom_model(self):
+        model = EnergyModel(buffer_write_pj=1, buffer_read_pj=1,
+                            crossbar_pj=2, arbiter_pj=1)
+        assert model.per_hop_baseline_pj() == 5

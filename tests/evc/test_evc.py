@@ -1,0 +1,103 @@
+"""Unit and integration tests for the EVC baseline."""
+
+import pytest
+
+from repro.evc import EvcMesh, EvcRouting, build_evc_network
+from repro.evc.topology import EXPRESS_SPAN
+from repro.network.config import NetworkConfig, PSEUDO
+from repro.network.flit import Packet
+from repro.topology.mesh import EAST, NORTH
+
+
+class TestTopology:
+    def test_port_counts(self):
+        topo = EvcMesh(8, 8)
+        assert topo.num_network_inports(0) == 8
+        assert topo.num_network_outports(0) == 8
+
+    def test_express_neighbor(self):
+        topo = EvcMesh(8, 8)
+        assert topo.express_neighbor(topo.router_at(0, 0), EAST) == \
+            topo.router_at(2, 0)
+        assert topo.express_neighbor(topo.router_at(7, 0), EAST) is None
+        assert topo.express_neighbor(topo.router_at(6, 0), EAST) is None
+
+    def test_express_channel_latency_covers_latch(self):
+        topo = EvcMesh(4, 4)
+        express = [ch for ch in topo.channels() if ch.src_port >= 4]
+        assert express
+        for ch in express:
+            assert ch.endpoints[0].latency == EXPRESS_SPAN + 1
+
+    def test_normal_channels_unchanged(self):
+        topo = EvcMesh(4, 4)
+        normal = [ch for ch in topo.channels() if ch.src_port < 4]
+        assert all(ch.endpoints[0].latency == 1 for ch in normal)
+
+    def test_span_validation(self):
+        with pytest.raises(ValueError):
+            EvcMesh(4, 4, span=1)
+
+
+class TestRouting:
+    def test_express_taken_when_far(self):
+        topo = EvcMesh(8, 8)
+        routing = EvcRouting(topo)
+        p = Packet(0, 5, 1, 0)  # 5 hops east
+        port, _ = routing.route(topo.router_at(0, 0), p)
+        assert port == topo.express_port(EAST)
+
+    def test_normal_when_one_hop_left(self):
+        topo = EvcMesh(8, 8)
+        routing = EvcRouting(topo)
+        p = Packet(0, 1, 1, 0)
+        assert routing.route(topo.router_at(0, 0), p) == (EAST, 0)
+
+    def test_y_dimension_after_x(self):
+        topo = EvcMesh(8, 8)
+        routing = EvcRouting(topo)
+        p = Packet(0, 16, 1, 0)  # straight north 2 hops
+        port, _ = routing.route(topo.router_at(0, 0), p)
+        assert port == topo.express_port(NORTH)
+
+    def test_vc_partition(self):
+        topo = EvcMesh(4, 4)
+        routing = EvcRouting(topo)
+        p = Packet(0, 5, 1, 0)
+        assert routing.vc_limits(p, 4, out_port=0) == (0, 2)    # normal
+        assert routing.vc_limits(p, 4, out_port=5) == (2, 4)    # express
+        assert routing.vc_limits(p, 4, out_port=-1) == (0, 2)   # injection
+
+    def test_requires_evc_mesh(self):
+        from repro.topology.mesh import Mesh
+        with pytest.raises(TypeError):
+            EvcRouting(Mesh(4, 4))
+
+
+class TestNetwork:
+    def test_delivery_with_express_paths(self):
+        net = build_evc_network(8, 8, seed=1)
+        packets = [Packet(0, 56, 5, 0), Packet(7, 0, 1, 0),
+                   Packet(9, 54, 5, 0)]
+        for p in packets:
+            net.inject(p)
+        net.drain()
+        assert all(p.eject_cycle >= 0 for p in packets)
+        net.check_invariants()
+
+    def test_express_paths_cut_latency(self):
+        def latency(builder):
+            net = builder()
+            p = Packet(0, 7, 1, 0)  # 7 hops east on a mesh
+            net.inject(p)
+            net.drain()
+            return p.network_latency
+        from repro.network.simulator import build_network
+        from repro.topology.mesh import Mesh
+        evc = latency(lambda: build_evc_network(8, 8, seed=1))
+        mesh = latency(lambda: build_network(Mesh(8, 8), routing="xy"))
+        assert evc < mesh
+
+    def test_pseudo_circuit_config_rejected(self):
+        with pytest.raises(ValueError):
+            build_evc_network(4, 4, config=NetworkConfig(pseudo=PSEUDO))

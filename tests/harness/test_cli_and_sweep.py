@@ -1,0 +1,44 @@
+"""Tests for the CLI and the sensitivity-sweep module."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.harness.sweep import sweep_load, sweep_vcs
+
+
+def test_cli_table2(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "crossbar" in out and "Table II" in out
+
+
+def test_cli_run_single_scheme(capsys):
+    assert main(["run", "--kx", "4", "--ky", "4", "--scheme", "pseudo_sb",
+                 "--rate", "0.05", "--cycles", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "Pseudo+S+B" in out
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_cli_sweep(capsys):
+    assert main(["sweep", "--kind", "load"]) == 0
+    assert "sensitivity sweep" in capsys.readouterr().out
+
+
+def test_sweep_load_reuse_decays_with_contention():
+    rows = sweep_load(loads=(0.05, 0.25), synth_cycles=600, synth_warmup=150)
+    assert rows[0]["reusability"] > rows[-1]["reusability"]
+    for row in rows:
+        assert row["reduction"] > 0
+
+
+def test_sweep_vcs_rows_complete():
+    rows = sweep_vcs(vc_counts=(2, 4), synth_cycles=400, synth_warmup=100,
+                     kx=4, ky=4)
+    assert [r["num_vcs"] for r in rows] == [2, 4]
+    for row in rows:
+        assert row["latency"] > 0 and 0 <= row["reusability"] <= 1

@@ -1,0 +1,71 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.evc.topology import EvcMesh
+from repro.harness.experiment import (ExperimentConfig, build_network,
+                                      clear_cache, run_experiment)
+from repro.network.config import PSEUDO_SB
+from repro.topology.mesh import ConcentratedMesh
+
+
+class TestConfig:
+    def test_requires_exactly_one_traffic_source(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig()  # neither benchmark nor pattern
+        with pytest.raises(ValueError):
+            ExperimentConfig(benchmark="fft", pattern="uniform")
+
+    def test_label(self):
+        cfg = ExperimentConfig(pattern="uniform", rate=0.1, scheme=PSEUDO_SB)
+        assert "Pseudo+S+B" in cfg.label
+        assert "uniform@0.1" in cfg.label
+
+    def test_with_scheme(self):
+        cfg = ExperimentConfig(pattern="uniform")
+        assert cfg.with_scheme(PSEUDO_SB).scheme is PSEUDO_SB
+
+    def test_hashable_for_caching(self):
+        a = ExperimentConfig(pattern="uniform")
+        b = ExperimentConfig(pattern="uniform")
+        assert a == b and hash(a) == hash(b)
+
+
+class TestBuild:
+    def test_builds_requested_topology(self):
+        cfg = ExperimentConfig(topology="cmesh", pattern="uniform")
+        net = build_network(cfg)
+        assert isinstance(net.topology, ConcentratedMesh)
+
+    def test_evc_topology_uses_evc_routing(self):
+        cfg = ExperimentConfig(topology="evc_mesh", kx=4, ky=4,
+                               concentration=1, pattern="uniform")
+        net = build_network(cfg)
+        assert isinstance(net.topology, EvcMesh)
+        assert net.routing.name == "evc_xy"
+
+    def test_synthetic_runs_without_mshr_throttle(self):
+        cfg = ExperimentConfig(pattern="uniform", mshrs=4)
+        net = build_network(cfg)
+        assert net.config.mshrs == 0  # only trace replay self-throttles
+
+
+class TestRun:
+    def test_synthetic_result_fields(self):
+        cfg = ExperimentConfig(topology="mesh", kx=4, ky=4, concentration=1,
+                               pattern="uniform", rate=0.08,
+                               synth_cycles=300, synth_warmup=50)
+        res = run_experiment(cfg, use_cache=False)
+        assert res.packets > 0
+        assert res.avg_latency > 0
+        assert res.energy_pj > 0
+        assert res.config is cfg
+
+    def test_cache_returns_same_result(self):
+        clear_cache()
+        cfg = ExperimentConfig(topology="mesh", kx=4, ky=4, concentration=1,
+                               pattern="uniform", rate=0.05,
+                               synth_cycles=200, synth_warmup=40)
+        first = run_experiment(cfg)
+        second = run_experiment(cfg)
+        assert first is second

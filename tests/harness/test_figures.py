@@ -1,0 +1,29 @@
+"""Smoke tests for the cheap figure entry points (the expensive ones are
+exercised by benchmarks/bench_*.py)."""
+
+from repro.harness import fig6, table1, table2
+from repro.harness.figures import ALL_FIGURES
+
+
+def test_fig6_pipeline_depths():
+    rows = fig6(show=False)
+    measured = {r["scheme"]: r["per_hop_cycles"] for r in rows}
+    assert measured == {"Baseline": 4, "Pseudo": 3, "Pseudo+S+B": 2}
+
+
+def test_table1_rows():
+    rows = table1(show=False)
+    assert ("# Cores", "32 out-of-order") in rows
+    assert ("Cache Block Size", "64B") in rows
+
+
+def test_table2_shares_sum_to_one():
+    rows = table2(show=False)
+    assert abs(sum(r["share"] for r in rows) - 1.0) < 1e-9
+
+
+def test_every_figure_has_an_entry_point():
+    expected = {"fig1", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12",
+                "fig13", "fig14", "table1", "table2"}
+    assert set(ALL_FIGURES) == expected
+    assert all(callable(fn) for fn in ALL_FIGURES.values())

@@ -1,0 +1,38 @@
+"""Unit tests for result-table rendering."""
+
+import pytest
+
+from repro.harness.report import (format_cell, format_table, percent,
+                                  reduction)
+
+
+def test_format_cell():
+    assert format_cell(0.123456) == "0.123"
+    assert format_cell(123.456) == "123.46"
+    assert format_cell("abc") == "abc"
+    assert format_cell(7) == "7"
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all rows padded to the same width
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_percent():
+    assert percent(0.163) == "+16.3%"
+    assert percent(-0.05) == "-5.0%"
+
+
+def test_reduction():
+    assert reduction(20.0, 17.0) == pytest.approx(0.15)
+    assert reduction(10.0, 12.0) == pytest.approx(-0.2)
+    with pytest.raises(ValueError):
+        reduction(0.0, 1.0)

@@ -1,0 +1,115 @@
+"""End-to-end integration tests across subsystems."""
+
+import pytest
+
+from repro.cmp.system import CmpSystem
+from repro.harness.traces import clear_caches, get_trace
+from repro.network.config import (ALL_SCHEMES, BASELINE, PSEUDO, PSEUDO_B,
+                                  PSEUDO_S, PSEUDO_SB, NetworkConfig)
+from repro.network.simulator import Network
+from repro.topology.mesh import ConcentratedMesh, Mesh
+from repro.traffic.synthetic import SyntheticTraffic
+from repro.traffic.trace import TraceReplayTraffic
+
+
+def synth_run(scheme, pattern="uniform", rate=0.1, cycles=800,
+              vc_policy="static", seed=3):
+    topo = Mesh(4, 4)
+    net = Network(topo, NetworkConfig(pseudo=scheme), "xy", vc_policy,
+                  seed=seed)
+    net.stats.warmup_cycles = 200
+    net.run(cycles, SyntheticTraffic(pattern, 16, rate, 5, seed=seed))
+    net.drain()
+    net.check_invariants()
+    return net.stats
+
+
+class TestSchemeOrdering:
+    """The paper's headline ordering must hold on a steady workload."""
+
+    def test_every_scheme_at_least_matches_baseline(self):
+        base = synth_run(BASELINE).avg_latency
+        for scheme in (PSEUDO, PSEUDO_S, PSEUDO_B, PSEUDO_SB):
+            assert synth_run(scheme).avg_latency <= base + 0.5
+
+    def test_buffer_bypass_improves_on_basic(self):
+        basic = synth_run(PSEUDO).avg_latency
+        bypass = synth_run(PSEUDO_B).avg_latency
+        assert bypass < basic
+
+    def test_speculation_raises_reusability(self):
+        assert synth_run(PSEUDO_S).reusability > synth_run(PSEUDO).reusability
+
+    def test_bypass_rate_only_with_flag(self):
+        assert synth_run(PSEUDO).buffer_bypass_rate == 0.0
+        assert synth_run(PSEUDO_B).buffer_bypass_rate > 0.0
+
+
+class TestEnergyOrdering:
+    def test_buffer_bypass_cuts_buffer_events(self):
+        base = synth_run(BASELINE)
+        bypassed = synth_run(PSEUDO_SB)
+        base_rw = (base.buffer_writes + base.buffer_reads) / base.flit_hops
+        pc_rw = (bypassed.buffer_writes
+                 + bypassed.buffer_reads) / bypassed.flit_hops
+        assert pc_rw < base_rw
+
+    def test_sa_bypass_cuts_arbitrations(self):
+        base = synth_run(BASELINE)
+        pc = synth_run(PSEUDO)
+        assert pc.sa_arbitrations < base.sa_arbitrations
+
+
+class TestTracePipeline:
+    """CMP -> trace -> replay, the paper's full methodology."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        clear_caches()
+        return get_trace("blackscholes", cycles=800, warmup=200, seed=2)
+
+    def test_trace_has_coherence_mix(self, trace):
+        kinds = {r.msg_type for r in trace.records}
+        assert "read_req" in kinds and "read_resp" in kinds
+        assert "write_req" in kinds
+
+    def test_replay_delivers_everything(self, trace):
+        net = Network(ConcentratedMesh(4, 4, 4),
+                      NetworkConfig(mshrs=4), "xy", "static", seed=5)
+        replay = TraceReplayTraffic(trace)
+        while not replay.exhausted:
+            replay.tick(net, net.cycle)
+            net.step()
+        net.drain()
+        assert net.stats.ejected_packets == len(trace)
+        net.check_invariants()
+
+    def test_all_schemes_deliver_the_same_trace(self, trace):
+        flit_counts = set()
+        for scheme in ALL_SCHEMES:
+            net = Network(ConcentratedMesh(4, 4, 4),
+                          NetworkConfig(pseudo=scheme, mshrs=4),
+                          "xy", "static", seed=5)
+            replay = TraceReplayTraffic(trace)
+            while not replay.exhausted:
+                replay.tick(net, net.cycle)
+                net.step()
+            net.drain()
+            flit_counts.add(net.stats.ejected_flits)
+        assert len(flit_counts) == 1  # identical work under every scheme
+
+
+class TestClosedLoop:
+    def test_cmp_self_throttles(self):
+        system = CmpSystem("mgrid", seed=4)
+        system.run(500)
+        # 4 MSHRs per core bound outstanding transactions per core.
+        for core in system.cores:
+            assert len(core.mshrs) <= system.config.mshrs_per_core
+        assert sum(c.mshrs.stalls for c in system.cores) > 0
+
+    def test_locality_ordering_matches_fig1(self):
+        system = CmpSystem("equake", seed=4)
+        system.run(1200)
+        stats = system.network.stats
+        assert stats.xbar_locality > stats.e2e_locality > 0.02

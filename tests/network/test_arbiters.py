@@ -1,0 +1,88 @@
+"""Unit and property tests for the arbiters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.arbiters import (MatrixArbiter, RoundRobinArbiter,
+                                    make_arbiter)
+
+
+class TestRoundRobin:
+    def test_empty_requests(self):
+        assert RoundRobinArbiter(4).grant([]) is None
+
+    def test_single_request(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant([2]) == 2
+
+    def test_rotation(self):
+        arb = RoundRobinArbiter(3)
+        grants = [arb.grant([0, 1, 2]) for _ in range(6)]
+        assert grants == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_non_requesters(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant([3]) == 3
+        # Priority moved past 3 -> wraps to 0.
+        assert arb.grant([0, 3]) == 0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(2).grant([5])
+
+    def test_no_starvation_under_persistent_requests(self):
+        arb = RoundRobinArbiter(5)
+        granted = set()
+        for _ in range(5):
+            granted.add(arb.grant([0, 2, 4]))
+        assert granted == {0, 2, 4}
+
+
+class TestMatrixArbiter:
+    def test_least_recently_served(self):
+        arb = MatrixArbiter(3)
+        first = arb.grant([0, 1])
+        # The winner drops to lowest priority among the two.
+        assert arb.grant([0, 1]) != first
+
+    def test_all_requesters_served(self):
+        arb = MatrixArbiter(4)
+        granted = [arb.grant([0, 1, 2, 3]) for _ in range(4)]
+        assert sorted(granted) == [0, 1, 2, 3]
+
+    def test_single_request(self):
+        assert MatrixArbiter(2).grant([1]) == 1
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            MatrixArbiter(2).grant([2])
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_arbiter("roundrobin", 2), RoundRobinArbiter)
+        assert isinstance(make_arbiter("matrix", 2), MatrixArbiter)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_arbiter("magic", 2)
+
+
+@given(st.lists(st.sets(st.integers(0, 7), min_size=1), min_size=1,
+                max_size=50),
+       st.sampled_from(["roundrobin", "matrix"]))
+def test_grant_is_always_a_requester(request_seq, kind):
+    """Property: every grant is one of the requests, for any sequence."""
+    arb = make_arbiter(kind, 8)
+    for requests in request_seq:
+        grant = arb.grant(requests)
+        assert grant in requests
+
+
+@given(st.sets(st.integers(0, 5), min_size=2, max_size=6))
+def test_persistent_requesters_are_all_served(requests):
+    """Property: under persistent requests, round-robin serves everyone
+    within len(requests) grants (starvation freedom)."""
+    arb = RoundRobinArbiter(6)
+    served = {arb.grant(requests) for _ in range(len(requests))}
+    assert served == set(requests)

@@ -1,0 +1,62 @@
+"""Unit tests for the bounded flit buffer."""
+
+import pytest
+
+from repro.network.buffers import BufferOverflowError, FlitBuffer
+from repro.network.flit import FlitType, Packet
+
+
+def flits(n):
+    return Packet(0, 1, max(n, 1), 0).make_flits()[:n]
+
+
+class TestFlitBuffer:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FlitBuffer(0)
+
+    def test_fifo_order(self):
+        buf = FlitBuffer(4)
+        items = flits(3)
+        for f in items:
+            buf.append(f)
+        assert [buf.pop() for _ in range(3)] == items
+
+    def test_front_does_not_remove(self):
+        buf = FlitBuffer(2)
+        f = flits(1)[0]
+        buf.append(f)
+        assert buf.front() is f
+        assert len(buf) == 1
+
+    def test_overflow_raises(self):
+        buf = FlitBuffer(2)
+        for f in flits(2):
+            buf.append(f)
+        with pytest.raises(BufferOverflowError):
+            buf.append(flits(1)[0])
+
+    def test_empty_access_raises(self):
+        buf = FlitBuffer(1)
+        with pytest.raises(IndexError):
+            buf.front()
+        with pytest.raises(IndexError):
+            buf.pop()
+
+    def test_free_slots_tracking(self):
+        buf = FlitBuffer(4)
+        assert buf.free_slots == 4 and buf.is_empty and not buf.is_full
+        buf.append(flits(1)[0])
+        assert buf.free_slots == 3 and not buf.is_empty
+        for f in flits(3):
+            buf.append(f)
+        assert buf.is_full and buf.free_slots == 0
+
+    def test_bool_and_iter(self):
+        buf = FlitBuffer(3)
+        assert not buf
+        items = flits(2)
+        for f in items:
+            buf.append(f)
+        assert buf
+        assert list(buf) == items

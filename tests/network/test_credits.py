@@ -1,0 +1,65 @@
+"""Unit tests for credit-based flow control primitives."""
+
+import pytest
+
+from repro.network.credits import CreditChannel, CreditCounter, CreditError
+
+
+class TestCreditCounter:
+    def test_starts_full(self):
+        c = CreditCounter(4)
+        assert c.count == 4 and c.available
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            CreditCounter(0)
+
+    def test_consume_restore_cycle(self):
+        c = CreditCounter(2)
+        c.consume()
+        c.consume()
+        assert not c.available
+        c.restore()
+        assert c.count == 1
+
+    def test_underflow_raises(self):
+        c = CreditCounter(1)
+        c.consume()
+        with pytest.raises(CreditError):
+            c.consume()
+
+    def test_overflow_raises(self):
+        c = CreditCounter(1)
+        with pytest.raises(CreditError):
+            c.restore()
+
+
+class TestCreditChannel:
+    def test_delay_respected(self):
+        ch = CreditChannel(delay=2)
+        ch.send(vc=1, now=10)
+        assert ch.deliver(11) == []
+        assert ch.deliver(12) == [1]
+
+    def test_zero_delay(self):
+        ch = CreditChannel(delay=0)
+        ch.send(0, now=5)
+        assert ch.deliver(5) == [0]
+
+    def test_batched_delivery_in_order(self):
+        ch = CreditChannel(delay=1)
+        ch.send(0, now=0)
+        ch.send(3, now=0)
+        ch.send(1, now=1)
+        assert ch.deliver(2) == [0, 3, 1]
+        assert ch.pending() == 0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            CreditChannel(delay=-1)
+
+    def test_pending_count(self):
+        ch = CreditChannel(delay=5)
+        ch.send(0, now=0)
+        ch.send(1, now=0)
+        assert ch.pending() == 2

@@ -1,0 +1,83 @@
+"""Unit tests for packets and flits."""
+
+import pytest
+
+from repro.network.flit import Flit, FlitType, Packet
+
+
+class TestFlitType:
+    def test_head_flags(self):
+        assert FlitType.HEAD.is_head
+        assert FlitType.HEAD_TAIL.is_head
+        assert not FlitType.BODY.is_head
+        assert not FlitType.TAIL.is_head
+
+    def test_tail_flags(self):
+        assert FlitType.TAIL.is_tail
+        assert FlitType.HEAD_TAIL.is_tail
+        assert not FlitType.HEAD.is_tail
+        assert not FlitType.BODY.is_tail
+
+
+class TestPacket:
+    def test_basic_fields(self):
+        p = Packet(3, 7, 5, 100, msg_type="read_resp")
+        assert p.src == 3 and p.dst == 7 and p.size == 5
+        assert p.create_cycle == 100
+        assert p.msg_type == "read_resp"
+
+    def test_unique_ids(self):
+        a, b = Packet(0, 1, 1, 0), Packet(0, 1, 1, 0)
+        assert a.pid != b.pid
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            Packet(0, 1, 0, 0)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Packet(4, 4, 1, 0)
+
+    def test_latency_requires_ejection(self):
+        p = Packet(0, 1, 1, 10)
+        with pytest.raises(ValueError):
+            _ = p.latency
+        p.inject_cycle = 12
+        p.eject_cycle = 30
+        assert p.latency == 20
+        assert p.network_latency == 18
+
+    def test_single_flit_packet(self):
+        flits = Packet(0, 1, 1, 0).make_flits()
+        assert len(flits) == 1
+        assert flits[0].ftype == FlitType.HEAD_TAIL
+        assert flits[0].is_head and flits[0].is_tail
+
+    def test_multi_flit_packet(self):
+        flits = Packet(0, 1, 5, 0).make_flits()
+        assert [f.ftype for f in flits] == [
+            FlitType.HEAD, FlitType.BODY, FlitType.BODY, FlitType.BODY,
+            FlitType.TAIL]
+        assert [f.index for f in flits] == list(range(5))
+
+    def test_two_flit_packet_has_no_body(self):
+        flits = Packet(0, 1, 2, 0).make_flits()
+        assert [f.ftype for f in flits] == [FlitType.HEAD, FlitType.TAIL]
+
+
+class TestFlit:
+    def test_delegates_to_packet(self):
+        p = Packet(2, 9, 3, 0)
+        flit = p.make_flits()[1]
+        assert flit.src == 2 and flit.dst == 9
+        assert flit.packet is p
+
+    def test_vc_mutable(self):
+        flit = Packet(0, 1, 1, 0).make_flits()[0]
+        assert flit.vc == -1
+        flit.vc = 3
+        assert flit.vc == 3
+
+    def test_repr_mentions_type(self):
+        flit = Flit(Packet(0, 1, 1, 0), FlitType.HEAD_TAIL, 0)
+        assert "HEAD_TAIL" in repr(flit)

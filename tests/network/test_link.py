@@ -1,0 +1,67 @@
+"""Unit tests for channel delivery queues."""
+
+from repro.network.flit import Packet
+from repro.network.link import Link
+from repro.network.ports import OutEndpoint
+
+
+class FakeRouter:
+    def __init__(self):
+        self.received = []
+
+    def accept_flit(self, in_port, flit):
+        self.received.append((in_port, flit))
+
+
+def test_delivery_at_scheduled_cycle():
+    link = Link()
+    router = FakeRouter()
+    ep = OutEndpoint(router=0, in_port=2, latency=1, num_vcs=1,
+                     buffer_depth=1)
+    flit = Packet(0, 1, 1, 0).make_flits()[0]
+    link.deliver(flit, ep, cycle=5)
+    link.tick(4, [router])
+    assert router.received == []
+    link.tick(5, [router])
+    assert router.received == [(2, flit)]
+    assert link.in_flight == 0
+
+
+def test_out_of_order_scheduling_delivers_in_cycle_order():
+    link = Link()
+    router = FakeRouter()
+    ep = OutEndpoint(0, 0, 1, 1, 1)
+    early = Packet(0, 1, 1, 0).make_flits()[0]
+    late = Packet(0, 1, 1, 0).make_flits()[0]
+    link.deliver(late, ep, cycle=9)
+    link.deliver(early, ep, cycle=3)
+    link.tick(10, [router])
+    assert [f for _, f in router.received] == [early, late]
+
+
+def test_same_cycle_preserves_send_order():
+    link = Link()
+    router = FakeRouter()
+    ep = OutEndpoint(0, 1, 1, 1, 1)
+    a = Packet(0, 1, 1, 0).make_flits()[0]
+    b = Packet(0, 1, 1, 0).make_flits()[0]
+    link.deliver(a, ep, cycle=4)
+    link.deliver(b, ep, cycle=4)
+    link.tick(4, [router])
+    assert [f for _, f in router.received] == [a, b]
+
+
+def test_multidrop_endpoints_route_to_their_router():
+    link = Link()
+    near, far = FakeRouter(), FakeRouter()
+    ep_near = OutEndpoint(router=0, in_port=0, latency=1, num_vcs=1,
+                          buffer_depth=1)
+    ep_far = OutEndpoint(router=1, in_port=3, latency=2, num_vcs=1,
+                         buffer_depth=1)
+    f1 = Packet(0, 1, 1, 0).make_flits()[0]
+    f2 = Packet(0, 2, 1, 0).make_flits()[0]
+    link.deliver(f1, ep_near, 2)
+    link.deliver(f2, ep_far, 3)
+    link.tick(3, [near, far])
+    assert near.received == [(0, f1)]
+    assert far.received == [(3, f2)]

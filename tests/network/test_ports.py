@@ -1,0 +1,70 @@
+"""Unit tests for router port structures."""
+
+from repro.network.ports import InputPort, OutEndpoint, OutputPort, OutVC
+
+
+class TestOutVC:
+    def test_initially_free_with_full_credits(self):
+        ovc = OutVC(4)
+        assert ovc.free
+        assert ovc.credit_count == 4
+
+    def test_ownership(self):
+        ovc = OutVC(4)
+        ovc.owner = (2, 1)
+        assert not ovc.free
+
+
+class TestOutEndpoint:
+    def test_credit_restore_by_vc(self):
+        ep = OutEndpoint(router=1, in_port=0, latency=1, num_vcs=2,
+                         buffer_depth=2)
+        ep.ovcs[1].credits.consume()
+        assert ep.ovcs[1].credit_count == 1
+        ep.restore_credit(1)
+        assert ep.ovcs[1].credit_count == 2
+
+    def test_any_credit(self):
+        ep = OutEndpoint(0, 0, 1, num_vcs=2, buffer_depth=1)
+        assert ep.any_credit()
+        for ovc in ep.ovcs:
+            ovc.credits.consume()
+        assert not ep.any_credit()
+
+
+class TestOutputPort:
+    def test_any_credit_across_endpoints(self):
+        eps = [OutEndpoint(0, 0, 1, 1, 1), OutEndpoint(1, 0, 2, 1, 1)]
+        port = OutputPort(0, eps)
+        eps[0].ovcs[0].credits.consume()
+        assert port.any_credit()
+        eps[1].ovcs[0].credits.consume()
+        assert not port.any_credit()
+
+    def test_initial_pc_state(self):
+        port = OutputPort(3, [])
+        assert port.pc_holder == -1
+        assert port.history.last_input == -1
+        assert not port.is_ejection
+
+
+class TestInputPort:
+    def test_credit_roundtrip_to_upstream(self):
+        upstream = OutEndpoint(0, 0, 1, num_vcs=4, buffer_depth=4)
+        ip = InputPort(0, num_vcs=4, buffer_depth=4, credit_delay=1)
+        ip.upstream = upstream
+        upstream.ovcs[2].credits.consume()
+        ip.send_credit(2, now=5)
+        ip.deliver_credits(5)   # too early: delay is 1
+        assert upstream.ovcs[2].credit_count == 3
+        ip.deliver_credits(6)
+        assert upstream.ovcs[2].credit_count == 4
+
+    def test_no_upstream_is_noop(self):
+        ip = InputPort(0, 1, 1, 0)
+        ip.send_credit(0, now=0)
+        ip.deliver_credits(0)  # must not raise
+
+    def test_locality_trackers_initial(self):
+        ip = InputPort(0, 1, 1, 0)
+        assert ip.last_pair is None and ip.last_out == -1

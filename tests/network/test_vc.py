@@ -1,0 +1,78 @@
+"""Unit tests for the input virtual-channel state machine."""
+
+import pytest
+
+from repro.network.flit import Packet
+from repro.network.vc import VCState, VirtualChannel
+
+
+def vc(depth=4):
+    return VirtualChannel(0, depth)
+
+
+class TestTransitions:
+    def test_initial_state(self):
+        v = vc()
+        assert v.state == VCState.IDLE
+        assert v.out_port == -1 and v.out_vc == -1
+
+    def test_full_packet_lifecycle(self):
+        v = vc()
+        v.start_packet(out_port=2, out_ep=0)
+        assert v.state == VCState.VA and v.out_port == 2
+        v.grant_out_vc(3)
+        assert v.state == VCState.ACTIVE and v.out_vc == 3
+        v.finish_packet()
+        assert v.state == VCState.IDLE
+        assert v.out_port == -1 and v.out_vc == -1 and v.out_ep == 0
+
+    def test_start_on_busy_vc_raises(self):
+        v = vc()
+        v.start_packet(1)
+        with pytest.raises(RuntimeError):
+            v.start_packet(2)
+
+    def test_grant_requires_va_state(self):
+        with pytest.raises(RuntimeError):
+            vc().grant_out_vc(0)
+
+    def test_finish_requires_active(self):
+        v = vc()
+        v.start_packet(1)
+        with pytest.raises(RuntimeError):
+            v.finish_packet()
+
+    def test_multidrop_endpoint_recorded(self):
+        v = vc()
+        v.start_packet(out_port=0, out_ep=2)
+        assert v.out_ep == 2
+
+
+class TestReadiness:
+    def test_ready_requires_active_state_and_flit(self):
+        v = vc()
+        assert not v.ready_for_sa(10)
+        flit = Packet(0, 1, 1, 0).make_flits()[0]
+        flit.ready_cycle = 5
+        v.buffer.append(flit)
+        assert not v.ready_for_sa(10)  # still IDLE
+        v.start_packet(1)
+        v.grant_out_vc(0)
+        assert v.ready_for_sa(10)
+
+    def test_ready_respects_flit_ready_cycle(self):
+        v = vc()
+        flit = Packet(0, 1, 1, 0).make_flits()[0]
+        flit.ready_cycle = 8
+        v.buffer.append(flit)
+        v.start_packet(1)
+        v.grant_out_vc(0)
+        assert not v.ready_for_sa(7)
+        assert v.ready_for_sa(8)
+
+    def test_has_flit_and_front(self):
+        v = vc()
+        assert not v.has_flit
+        flit = Packet(0, 1, 1, 0).make_flits()[0]
+        v.buffer.append(flit)
+        assert v.has_flit and v.front() is flit

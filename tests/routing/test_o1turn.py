@@ -1,0 +1,57 @@
+"""Unit tests for O1TURN routing."""
+
+import random
+
+import pytest
+
+from repro.network.flit import Packet
+from repro.routing.o1turn import O1TurnRouting
+from repro.topology.mesh import Mesh, NORTH, EAST
+
+
+def test_choice_set_at_injection():
+    routing = O1TurnRouting(Mesh(4, 4))
+    rng = random.Random(1)
+    choices = set()
+    for _ in range(50):
+        p = Packet(0, 10, 1, 0)
+        routing.on_inject(p, rng)
+        choices.add(p.route_choice)
+    assert choices == {0, 1}
+
+
+def test_choice_roughly_balanced():
+    routing = O1TurnRouting(Mesh(4, 4))
+    rng = random.Random(7)
+    picks = []
+    for _ in range(400):
+        p = Packet(0, 10, 1, 0)
+        routing.on_inject(p, rng)
+        picks.append(p.route_choice)
+    share = sum(picks) / len(picks)
+    assert 0.4 < share < 0.6
+
+
+def test_vc_classes_are_disjoint_halves():
+    routing = O1TurnRouting(Mesh(4, 4))
+    xy = Packet(0, 10, 1, 0)
+    yx = Packet(0, 10, 1, 0)
+    xy.route_choice, yx.route_choice = 0, 1
+    assert routing.vc_limits(xy, 4) == (0, 2)
+    assert routing.vc_limits(yx, 4) == (2, 4)
+
+
+def test_requires_two_vcs():
+    routing = O1TurnRouting(Mesh(4, 4))
+    with pytest.raises(ValueError):
+        routing.vc_limits(Packet(0, 1, 1, 0), 1)
+
+
+def test_route_follows_choice():
+    topo = Mesh(4, 4)
+    routing = O1TurnRouting(topo)
+    p = Packet(0, 10, 1, 0)
+    p.route_choice = 0
+    assert routing.route(topo.router_at(0, 0), p)[0] == EAST
+    p.route_choice = 1
+    assert routing.route(topo.router_at(0, 0), p)[0] == NORTH

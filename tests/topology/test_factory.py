@@ -1,0 +1,44 @@
+"""Topology factory and shared base-class behaviour."""
+
+import pytest
+
+from repro.topology import (ConcentratedMesh, FlattenedButterfly, Mecs, Mesh,
+                            make_topology)
+
+
+def test_factory_kinds():
+    assert isinstance(make_topology("mesh", 4, 4), Mesh)
+    assert isinstance(make_topology("cmesh", 4, 4, 4), ConcentratedMesh)
+    assert isinstance(make_topology("fbfly", 4, 4, 4), FlattenedButterfly)
+    assert isinstance(make_topology("mecs", 4, 4, 4), Mecs)
+
+
+def test_factory_unknown():
+    with pytest.raises(ValueError):
+        make_topology("torus", 4, 4)
+
+
+@pytest.mark.parametrize("name,conc", [
+    ("mesh", 1), ("cmesh", 4), ("fbfly", 4), ("mecs", 4)])
+def test_terminal_port_layout(name, conc):
+    topo = make_topology(name, 4, 4, conc)
+    for t in range(topo.num_terminals):
+        r = topo.terminal_router(t)
+        inj = topo.injection_port(t)
+        ej = topo.ejection_port(t)
+        assert topo.num_network_inports(r) <= inj < topo.num_inports(r)
+        assert topo.num_network_outports(r) <= ej < topo.num_outports(r)
+
+
+@pytest.mark.parametrize("name,conc", [
+    ("mesh", 1), ("cmesh", 4), ("fbfly", 4), ("mecs", 4)])
+def test_no_input_port_wired_twice(name, conc):
+    """Every channel endpoint must land on a distinct (router, port)."""
+    topo = make_topology(name, 4, 4, conc)
+    seen = set()
+    for ch in topo.channels():
+        for ep in ch.endpoints:
+            key = (ep.router, ep.in_port)
+            assert key not in seen, key
+            seen.add(key)
+            assert ep.latency >= 1

@@ -1,0 +1,71 @@
+"""Unit tests for the flattened butterfly topology."""
+
+import pytest
+
+from repro.topology.fbfly import FlattenedButterfly
+
+
+class TestPorts:
+    def test_port_counts(self):
+        topo = FlattenedButterfly(4, 4, 4)
+        for r in range(topo.num_routers):
+            assert topo.num_network_inports(r) == 6
+            assert topo.num_network_outports(r) == 6
+            assert topo.num_inports(r) == 10
+
+    def test_port_to_row_and_column(self):
+        topo = FlattenedButterfly(4, 4)
+        r = topo.router_at(1, 1)
+        # Row peers x=0,2,3 occupy ports 0,1,2; column peers y=0,2,3 -> 3,4,5.
+        assert topo.port_to(r, topo.router_at(0, 1)) == 0
+        assert topo.port_to(r, topo.router_at(2, 1)) == 1
+        assert topo.port_to(r, topo.router_at(3, 1)) == 2
+        assert topo.port_to(r, topo.router_at(1, 0)) == 3
+        assert topo.port_to(r, topo.router_at(1, 2)) == 4
+        assert topo.port_to(r, topo.router_at(1, 3)) == 5
+
+    def test_port_to_rejects_diagonal(self):
+        topo = FlattenedButterfly(4, 4)
+        with pytest.raises(ValueError):
+            topo.port_to(topo.router_at(0, 0), topo.router_at(1, 1))
+
+
+class TestChannels:
+    def test_full_row_column_connectivity(self):
+        topo = FlattenedButterfly(4, 4)
+        # Each router drives (kx-1)+(ky-1) channels.
+        assert len(topo.channels()) == topo.num_routers * 6
+
+    def test_express_latency_scales_with_distance(self):
+        topo = FlattenedButterfly(4, 4)
+        for ch in topo.channels():
+            ep = ch.endpoints[0]
+            sx, sy = topo.coords(ch.src_router)
+            dx, dy = topo.coords(ep.router)
+            assert ep.latency == abs(sx - dx) + abs(sy - dy)
+
+    def test_channels_symmetric_ports(self):
+        topo = FlattenedButterfly(3, 3)
+        for ch in topo.channels():
+            ep = ch.endpoints[0]
+            assert topo.port_to(ep.router, ch.src_router) == ep.in_port
+
+
+class TestHops:
+    def test_min_hops_at_most_two(self):
+        topo = FlattenedButterfly(4, 4)
+        for src in range(topo.num_routers):
+            for dst in range(topo.num_routers):
+                assert topo.min_hops(src, dst) <= 2
+
+    def test_min_hops_values(self):
+        topo = FlattenedButterfly(4, 4)
+        assert topo.min_hops(topo.router_at(0, 0), topo.router_at(3, 0)) == 1
+        assert topo.min_hops(topo.router_at(0, 0), topo.router_at(3, 3)) == 2
+        assert topo.min_hops(5, 5) == 0
+
+    def test_lower_average_hops_than_mesh(self):
+        from repro.topology.mesh import Mesh
+        fb = FlattenedButterfly(4, 4, 4)
+        mesh = Mesh(8, 8, 1)
+        assert fb.average_hops() < mesh.average_hops()

@@ -1,0 +1,62 @@
+"""Unit tests for the Multidrop Express Cube topology."""
+
+import pytest
+
+from repro.topology.mecs import EAST, Mecs, NORTH, SOUTH, WEST
+
+
+class TestStructure:
+    def test_asymmetric_port_counts(self):
+        topo = Mecs(4, 4, 4)
+        for r in range(topo.num_routers):
+            assert topo.num_network_outports(r) == 4   # one per direction
+            assert topo.num_network_inports(r) == 6    # one tap per source
+
+    def test_drops_ordering_nearest_first(self):
+        topo = Mecs(4, 4)
+        r = topo.router_at(0, 0)
+        drops = topo.drops(r, EAST)
+        assert drops == [topo.router_at(1, 0), topo.router_at(2, 0),
+                         topo.router_at(3, 0)]
+        assert topo.drops(r, WEST) == []
+        assert topo.drops(r, NORTH)[0] == topo.router_at(0, 1)
+
+    def test_inport_from_unique_per_source(self):
+        topo = Mecs(4, 4)
+        r = topo.router_at(1, 1)
+        sources = topo.row_sources = [topo.router_at(x, 1)
+                                      for x in (0, 2, 3)]
+        sources += [topo.router_at(1, y) for y in (0, 2, 3)]
+        ports = [topo.inport_from(r, s) for s in sources]
+        assert sorted(ports) == list(range(6))
+
+    def test_inport_from_rejects_diagonal(self):
+        topo = Mecs(3, 3)
+        with pytest.raises(ValueError):
+            topo.inport_from(topo.router_at(0, 0), topo.router_at(1, 1))
+
+
+class TestChannels:
+    def test_multidrop_endpoints(self):
+        topo = Mecs(4, 4)
+        by_src = {(ch.src_router, ch.src_port): ch for ch in topo.channels()}
+        corner = topo.router_at(0, 0)
+        east = by_src[(corner, EAST)]
+        assert len(east.endpoints) == 3
+        # Nearest drop has latency 1, farthest kx-1.
+        assert [ep.latency for ep in east.endpoints] == [1, 2, 3]
+        assert (corner, WEST) not in by_src  # edge: no westward channel
+        assert (corner, SOUTH) not in by_src
+
+    def test_every_endpoint_tap_matches_inport_from(self):
+        topo = Mecs(3, 3)
+        for ch in topo.channels():
+            for ep in ch.endpoints:
+                assert topo.inport_from(ep.router, ch.src_router) == \
+                    ep.in_port
+
+    def test_min_hops_at_most_two(self):
+        topo = Mecs(4, 4)
+        for src in range(topo.num_routers):
+            for dst in range(topo.num_routers):
+                assert topo.min_hops(src, dst) <= 2

@@ -1,0 +1,98 @@
+"""Unit tests for mesh and concentrated mesh topologies."""
+
+import pytest
+
+from repro.topology.mesh import (EAST, NORTH, SOUTH, WEST, ConcentratedMesh,
+                                 Mesh)
+
+
+class TestGeometry:
+    def test_coords_roundtrip(self):
+        topo = Mesh(4, 3)
+        for r in range(topo.num_routers):
+            x, y = topo.coords(r)
+            assert topo.router_at(x, y) == r
+
+    def test_coords_out_of_range(self):
+        topo = Mesh(2, 2)
+        with pytest.raises(ValueError):
+            topo.coords(4)
+        with pytest.raises(ValueError):
+            topo.router_at(2, 0)
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh(1, 4)
+
+    def test_neighbors(self):
+        topo = Mesh(3, 3)
+        center = topo.router_at(1, 1)
+        assert topo.neighbor(center, EAST) == topo.router_at(2, 1)
+        assert topo.neighbor(center, WEST) == topo.router_at(0, 1)
+        assert topo.neighbor(center, NORTH) == topo.router_at(1, 2)
+        assert topo.neighbor(center, SOUTH) == topo.router_at(1, 0)
+
+    def test_edges_have_no_neighbor(self):
+        topo = Mesh(3, 3)
+        assert topo.neighbor(topo.router_at(0, 0), WEST) is None
+        assert topo.neighbor(topo.router_at(0, 0), SOUTH) is None
+        assert topo.neighbor(topo.router_at(2, 2), EAST) is None
+        assert topo.neighbor(topo.router_at(2, 2), NORTH) is None
+
+    def test_min_hops_is_manhattan(self):
+        topo = Mesh(4, 4)
+        assert topo.min_hops(topo.router_at(0, 0), topo.router_at(3, 2)) == 5
+        assert topo.min_hops(5, 5) == 0
+
+
+class TestChannels:
+    def test_channel_count(self):
+        topo = Mesh(4, 4)
+        # 2 directed channels per adjacent pair: 2 * (3*4 + 3*4).
+        assert len(topo.channels()) == 48
+
+    def test_channels_land_on_facing_port(self):
+        topo = Mesh(3, 2)
+        for ch in topo.channels():
+            assert len(ch.endpoints) == 1
+            ep = ch.endpoints[0]
+            assert ep.latency == 1
+            assert topo.neighbor(ch.src_router, ch.src_port) == ep.router
+            assert Mesh.opposite(ch.src_port) == ep.in_port
+
+    def test_every_nonedge_port_wired_once(self):
+        topo = Mesh(3, 3)
+        seen = set()
+        for ch in topo.channels():
+            key = (ch.src_router, ch.src_port)
+            assert key not in seen
+            seen.add(key)
+
+
+class TestTerminals:
+    def test_single_concentration(self):
+        topo = Mesh(4, 4)
+        assert topo.num_terminals == 16
+        assert topo.terminal_router(9) == 9
+        assert topo.injection_port(9) == 4
+        assert topo.ejection_port(9) == 4
+
+    def test_concentrated(self):
+        topo = ConcentratedMesh(4, 4, 4)
+        assert topo.num_terminals == 64
+        assert topo.terminal_router(0) == 0
+        assert topo.terminal_router(7) == 1
+        assert topo.injection_port(5) == 4 + 1
+        assert topo.num_inports(0) == 8
+        assert topo.num_outports(0) == 8
+
+    def test_cmesh_requires_concentration(self):
+        with pytest.raises(ValueError):
+            ConcentratedMesh(4, 4, 1)
+
+    def test_terminal_out_of_range(self):
+        with pytest.raises(ValueError):
+            Mesh(2, 2).terminal_router(4)
+
+    def test_average_hops_positive(self):
+        assert 0 < Mesh(3, 3).average_hops() < 4

@@ -1,0 +1,43 @@
+"""Unit tests for the benchmark workload profiles."""
+
+import pytest
+
+from repro.traffic.benchmarks import (BENCHMARKS, PROFILES, BenchmarkProfile,
+                                      get_profile)
+
+
+def test_paper_benchmark_set_present():
+    # Section V: SPEComp, PARSEC, NAS, SPECjbb, SPLASH-2.
+    expected = {"fma3d", "equake", "mgrid", "blackscholes", "streamcluster",
+                "swaptions", "specjbb", "fft", "lu", "radix"}
+    assert expected <= set(BENCHMARKS)
+    suites = {p.suite for p in PROFILES.values()}
+    assert {"specomp", "parsec", "nas", "specjbb", "splash2"} <= suites
+
+
+def test_profiles_are_valid():
+    for profile in PROFILES.values():
+        assert 0 < profile.access_rate <= 1
+        assert 0 <= profile.read_frac <= 1
+        assert profile.working_set_blocks >= 64
+        assert profile.run_len >= 1
+        assert 0 <= profile.reuse_prob <= 1
+
+
+def test_specjbb_is_the_skewed_profile():
+    assert get_profile("specjbb").bank_skew > 0
+    assert get_profile("fma3d").bank_skew == 0
+
+
+def test_get_profile_unknown():
+    with pytest.raises(ValueError):
+        get_profile("quake3")
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        BenchmarkProfile("x", "s", 0.0, 0.5, 1024, 0.1, 1, 0.1, 4, 0, 0.1)
+    with pytest.raises(ValueError):
+        BenchmarkProfile("x", "s", 0.5, 1.5, 1024, 0.1, 1, 0.1, 4, 0, 0.1)
+    with pytest.raises(ValueError):
+        BenchmarkProfile("x", "s", 0.5, 0.5, 2, 0.1, 1, 0.1, 4, 0, 0.1)

@@ -1,0 +1,99 @@
+"""Unit tests for synthetic traffic patterns."""
+
+import random
+
+import pytest
+
+from repro.traffic.synthetic import (PAPER_PATTERNS, SyntheticTraffic,
+                                     destination_function)
+
+
+class FakeNetwork:
+    def __init__(self):
+        self.packets = []
+
+    def inject(self, packet):
+        self.packets.append(packet)
+
+
+RNG = random.Random(0)
+
+
+class TestPatterns:
+    def test_bit_complement(self):
+        f = destination_function("bitcomp", 64)
+        assert f(0, RNG) == 63
+        assert f(21, RNG) == 42
+        assert f(63, RNG) == 0
+
+    def test_transpose(self):
+        f = destination_function("transpose", 64)
+        # src = (x=5, y=2) -> dst = (x=2, y=5): 2*8+5=21 maps to 5*8+2=42.
+        assert f(0b010101, RNG) == 0b101010
+        assert f(0, RNG) is None  # diagonal maps to itself
+
+    def test_uniform_excludes_self(self):
+        f = destination_function("uniform", 16)
+        rng = random.Random(4)
+        for src in range(16):
+            for _ in range(50):
+                assert f(src, rng) != src
+
+    def test_tornado(self):
+        f = destination_function("tornado", 64)
+        assert f(0, RNG) == 31
+        assert f(40, RNG) == 7
+
+    def test_shuffle(self):
+        f = destination_function("shuffle", 8)
+        assert f(0b011, RNG) == 0b110
+        assert f(0b100, RNG) == 0b001
+
+    def test_neighbor(self):
+        f = destination_function("neighbor", 8)
+        assert f(7, RNG) == 0
+
+    def test_non_power_of_two_rejected_for_bit_patterns(self):
+        with pytest.raises(ValueError):
+            destination_function("bitcomp", 60)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            destination_function("zigzag", 16)
+
+    def test_paper_patterns_present(self):
+        assert set(PAPER_PATTERNS) == {"uniform", "bitcomp", "transpose"}
+
+
+class TestInjectionProcess:
+    def test_offered_load_accounting(self):
+        traffic = SyntheticTraffic("uniform", 64, rate=0.2, packet_size=5,
+                                   seed=1)
+        net = FakeNetwork()
+        for cycle in range(1000):
+            traffic.tick(net, cycle)
+        flits = sum(p.size for p in net.packets)
+        load = flits / (1000 * 64)
+        assert 0.16 < load < 0.24  # Bernoulli noise around 0.2
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTraffic("uniform", 64, rate=1.5)
+
+    def test_packets_carry_creation_cycle(self):
+        traffic = SyntheticTraffic("uniform", 16, rate=1.0, packet_size=1,
+                                   seed=2)
+        net = FakeNetwork()
+        traffic.tick(net, 7)
+        assert net.packets
+        assert all(p.create_cycle == 7 for p in net.packets)
+
+    def test_deterministic_given_seed(self):
+        def gen(seed):
+            traffic = SyntheticTraffic("uniform", 16, 0.5, 1, seed=seed)
+            net = FakeNetwork()
+            for c in range(50):
+                traffic.tick(net, c)
+            return [(p.src, p.dst) for p in net.packets]
+        assert gen(9) == gen(9)
+        assert gen(9) != gen(10)

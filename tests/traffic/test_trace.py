@@ -1,0 +1,103 @@
+"""Unit tests for trace capture, serialization and replay."""
+
+import pytest
+
+from repro.traffic.trace import Trace, TraceRecord, TraceReplayTraffic
+
+
+class FakeNetwork:
+    def __init__(self):
+        self.packets = []
+
+    def inject(self, packet):
+        self.packets.append(packet)
+
+
+def small_trace():
+    return Trace(16, benchmark="demo", records=[
+        TraceRecord(0, 0, 5, 1, "read_req"),
+        TraceRecord(2, 5, 0, 5, "read_resp"),
+        TraceRecord(2, 1, 9, 1, "write_req"),
+        TraceRecord(7, 9, 1, 1, "write_ack"),
+    ])
+
+
+class TestRecords:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecord(-1, 0, 1, 1, "x")
+        with pytest.raises(ValueError):
+            TraceRecord(0, 3, 3, 1, "x")
+        with pytest.raises(ValueError):
+            TraceRecord(0, 0, 1, 0, "x")
+
+
+class TestTrace:
+    def test_metrics(self):
+        trace = small_trace()
+        assert len(trace) == 4
+        assert trace.duration == 8
+        assert trace.flits() == 8
+        assert trace.offered_load() == pytest.approx(8 / (8 * 16))
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "t.trace"
+        trace = small_trace()
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.num_terminals == 16
+        assert loaded.benchmark == "demo"
+        assert loaded.records == trace.records
+
+    def test_load_rejects_other_files(self, tmp_path):
+        path = tmp_path / "bogus.txt"
+        path.write_text("not a trace\n")
+        with pytest.raises(ValueError):
+            Trace.load(path)
+
+    def test_sorted(self):
+        trace = Trace(4, records=[TraceRecord(5, 0, 1, 1, "a"),
+                                  TraceRecord(1, 1, 2, 1, "b")])
+        assert [r.cycle for r in trace.sorted().records] == [1, 5]
+
+
+class TestReplay:
+    def test_injects_at_recorded_cycles(self):
+        replay = TraceReplayTraffic(small_trace())
+        net = FakeNetwork()
+        replay.tick(net, 0)
+        assert len(net.packets) == 1
+        replay.tick(net, 1)
+        assert len(net.packets) == 1
+        replay.tick(net, 2)
+        assert len(net.packets) == 3
+        replay.tick(net, 7)
+        assert len(net.packets) == 4
+        assert replay.exhausted
+
+    def test_catches_up_after_gap(self):
+        replay = TraceReplayTraffic(small_trace())
+        net = FakeNetwork()
+        replay.tick(net, 100)  # network was busy; all records now due
+        assert len(net.packets) == 4
+
+    def test_repeat_rounds(self):
+        replay = TraceReplayTraffic(small_trace(), repeat=2)
+        net = FakeNetwork()
+        cycle = 0
+        while not replay.exhausted:
+            replay.tick(net, cycle)
+            cycle += 1
+        assert len(net.packets) == 8
+        assert replay.injected == 8
+
+    def test_packet_fields_from_records(self):
+        replay = TraceReplayTraffic(small_trace())
+        net = FakeNetwork()
+        replay.tick(net, 0)
+        p = net.packets[0]
+        assert (p.src, p.dst, p.size, p.msg_type) == (0, 5, 1, "read_req")
+
+    def test_repeat_validation(self):
+        with pytest.raises(ValueError):
+            TraceReplayTraffic(small_trace(), repeat=0)
