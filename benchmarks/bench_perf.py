@@ -1,0 +1,29 @@
+"""Core-performance benchmark: active-set stepping vs exhaustive reference.
+
+Not a paper figure — this is the perf-trajectory workload behind
+``python -m repro bench`` (see README / BENCH_core.json), run here at a
+reduced cycle count so the suite stays fast. It asserts the property that
+makes the active-set core shippable: on every canonical workload the
+active-set run produces *identical* ``NetworkStats`` to exhaustive
+stepping (``time_workload`` raises otherwise) while skipping work.
+"""
+
+from conftest import run_once
+
+from repro.harness.bench import CANONICAL_WORKLOADS, time_workload
+
+
+def _all(cycles):
+    return [{"name": name, **time_workload(scheme, rate, cycles, repeats=1)}
+            for name, scheme, rate in CANONICAL_WORKLOADS]
+
+
+def test_core_perf(benchmark):
+    rows = run_once(benchmark, _all, 600)
+    assert len(rows) == len(CANONICAL_WORKLOADS)
+    for row in rows:
+        # time_workload cross-checks stats between stepping modes and
+        # raises on any divergence; the flag records that it passed.
+        assert row["stats_identical"], row
+        assert row["packets"] > 0, row
+        assert row["wall_s"] > 0 and row["reference_wall_s"] > 0, row

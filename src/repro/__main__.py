@@ -10,14 +10,22 @@ Commands:
           --routing xy --va static --scheme pseudo_sb \\
           --pattern uniform --rate 0.1
 
-* ``sweep`` — sensitivity sweeps (``--kind vcs|buffers|load``).
+* ``sweep`` — sensitivity sweeps (``--kind vcs|buffers|load``);
+* ``bench`` — time the canonical simulator workloads and write
+  ``BENCH_core.json`` (the perf trajectory file, see README).
+
+Figure and sweep commands accept ``--workers N`` to fan the underlying
+simulations out over N worker processes; results are bit-identical to a
+serial run.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
+from .harness.bench import run_bench
 from .harness.experiment import ExperimentConfig, run_experiment
 from .harness.figures import ALL_FIGURES
 from .harness.report import print_table
@@ -29,14 +37,25 @@ SCHEMES = {"baseline": BASELINE, "pseudo": PSEUDO, "pseudo_s": PSEUDO_S,
            "pseudo_b": PSEUDO_B, "pseudo_sb": PSEUDO_SB}
 
 
-def _cmd_figure(name: str) -> int:
-    ALL_FIGURES[name]()
+def _figure_kwargs(fn, workers: int | None) -> dict:
+    """Pass --workers through to figures that can parallelize."""
+    if workers is None:
+        return {}
+    if "max_workers" in inspect.signature(fn).parameters:
+        return {"max_workers": workers}
+    return {}
+
+
+def _cmd_figure(name: str, workers: int | None) -> int:
+    fn = ALL_FIGURES[name]
+    fn(**_figure_kwargs(fn, workers))
     return 0
 
 
-def _cmd_all() -> int:
+def _cmd_all(workers: int | None) -> int:
     for name in ALL_FIGURES:
-        ALL_FIGURES[name]()
+        fn = ALL_FIGURES[name]
+        fn(**_figure_kwargs(fn, workers))
     return 0
 
 
@@ -69,7 +88,7 @@ def _cmd_sweep(args) -> int:
               "buffers": (sweep_buffer_depth, "buffer_depth"),
               "load": (sweep_load, "load")}
     fn, key = sweeps[args.kind]
-    rows = fn()
+    rows = fn(max_workers=args.workers)
     print_table(f"sensitivity sweep: {args.kind}",
                 [key, "baseline", "Pseudo+S+B", "reduction", "reuse"],
                 [(r[key], r["baseline_latency"], r["latency"],
@@ -82,8 +101,10 @@ def main(argv=None) -> int:
         prog="repro", description="Pseudo-Circuit reproduction CLI")
     sub = parser.add_subparsers(dest="command", required=True)
     for name in ALL_FIGURES:
-        sub.add_parser(name, help=f"regenerate {name}")
-    sub.add_parser("all", help="regenerate every figure and table")
+        fig_p = sub.add_parser(name, help=f"regenerate {name}")
+        fig_p.add_argument("--workers", type=int, default=None)
+    all_p = sub.add_parser("all", help="regenerate every figure and table")
+    all_p.add_argument("--workers", type=int, default=None)
 
     run_p = sub.add_parser("run", help="run one experiment")
     run_p.add_argument("--topology", default="mesh",
@@ -107,14 +128,32 @@ def main(argv=None) -> int:
     sweep_p = sub.add_parser("sweep", help="sensitivity sweeps")
     sweep_p.add_argument("--kind", default="load",
                          choices=["vcs", "buffers", "load"])
+    sweep_p.add_argument("--workers", type=int, default=None)
+
+    bench_p = sub.add_parser(
+        "bench", help="time canonical workloads, write BENCH_core.json")
+    bench_p.add_argument("--cycles", type=int, default=None,
+                         help="cycles per workload (default 1500)")
+    bench_p.add_argument("--repeats", type=int, default=None,
+                         help="timing repetitions, best-of (default 3)")
+    bench_p.add_argument("--out", default="BENCH_core.json",
+                         help="output path ('-' to skip writing)")
 
     args = parser.parse_args(argv)
     if args.command in ALL_FIGURES:
-        return _cmd_figure(args.command)
+        return _cmd_figure(args.command, args.workers)
     if args.command == "all":
-        return _cmd_all()
+        return _cmd_all(args.workers)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "bench":
+        kwargs = {}
+        if args.cycles is not None:
+            kwargs["cycles"] = args.cycles
+        if args.repeats is not None:
+            kwargs["repeats"] = args.repeats
+        run_bench(out_path=None if args.out == "-" else args.out, **kwargs)
+        return 0
     return _cmd_sweep(args)
 
 

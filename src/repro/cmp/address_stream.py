@@ -56,7 +56,7 @@ class AddressStream:
         random.Random(sum(map(ord, self.profile.name))).shuffle(ranks)
         return [1.0 / (rank + 1) ** skew for rank in ranks]
 
-    # -- address generation ----------------------------------------------------
+    # -- address generation ---------------------------------------------------
 
     def next_access(self) -> tuple[int, bool]:
         """Return (block address, is_write)."""

@@ -49,7 +49,7 @@ class Core:
         self.l1_hits = 0
         self.stall_cycles = 0
 
-    # -- per-cycle behaviour -----------------------------------------------------
+    # -- per-cycle behaviour --------------------------------------------------
 
     def tick(self, system, cycle: int) -> None:
         if self._stalled is not None:
@@ -105,7 +105,7 @@ class Core:
         else:
             self.reads -= 1
 
-    # -- message handling ----------------------------------------------------------
+    # -- message handling -----------------------------------------------------
 
     def on_message(self, system, packet, cycle: int) -> None:
         msg = packet.msg_type
@@ -146,7 +146,7 @@ class L2Bank:
         self.invals_sent = 0
         self.l2_misses = 0
 
-    # -- message handling -----------------------------------------------------------
+    # -- message handling -----------------------------------------------------
 
     def on_message(self, system, packet, cycle: int) -> None:
         msg = packet.msg_type
@@ -222,7 +222,7 @@ class L2Bank:
                     self._waiting.setdefault(block, []).extend(waiters)
                     return
 
-    # -- delayed actions ---------------------------------------------------------------
+    # -- delayed actions ------------------------------------------------------
 
     def _schedule(self, when: int, action: tuple) -> None:
         heapq.heappush(self._due, (when, next(_seq), action))

@@ -106,7 +106,7 @@ class CmpSystem:
             endpoint.on_message(self, packet, cycle)
         return handler
 
-    # -- messaging ------------------------------------------------------------------
+    # -- messaging ------------------------------------------------------------
 
     def bank_terminal_for(self, block: int) -> int:
         """Home bank terminal of a block (address-interleaved S-NUCA)."""
@@ -126,7 +126,7 @@ class CmpSystem:
                 TraceRecord(cycle - self._record_from, src, dst, size,
                             msg_type))
 
-    # -- simulation -----------------------------------------------------------------
+    # -- simulation -----------------------------------------------------------
 
     def run(self, cycles: int, record_trace: bool = False,
             warmup: int = 0) -> "CmpSystem":
@@ -152,7 +152,7 @@ class CmpSystem:
         for bank in self.banks:
             bank.tick(self, cycle)
 
-    # -- reporting -------------------------------------------------------------------
+    # -- reporting ------------------------------------------------------------
 
     def l1_miss_rate(self) -> float:
         hits = sum(c.l1.hits for c in self.cores)

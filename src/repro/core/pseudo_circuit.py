@@ -24,7 +24,7 @@ from enum import Enum
 class Termination(Enum):
     """Why a pseudo-circuit was torn down (used by stats and tests)."""
 
-    CONFLICT_OUTPUT = "conflict_output"    # SA gave the output to another input
+    CONFLICT_OUTPUT = "conflict_output"  # SA gave the output to another input
     CONFLICT_INPUT = "conflict_input"      # this input was granted elsewhere
     ROUTE_MISMATCH = "route_mismatch"      # arriving head wants another output
     NO_CREDIT = "no_credit"                # downstream congestion

@@ -1,0 +1,144 @@
+"""Core-performance benchmark and perf-trajectory tracking.
+
+``run_bench`` times the canonical simulator workloads — an 8x8 mesh under
+uniform-random traffic at a low-load and a near-saturation point, for the
+baseline router and the full Pseudo+S+B scheme — in both the shipped
+active-set stepping mode and the exhaustive reference mode, verifies that
+the two modes produced identical ``NetworkStats``, and writes the timings
+to ``BENCH_core.json``. Re-running ``python -m repro bench`` after a change
+(and diffing the JSON) is how this repo tracks simulator performance over
+time.
+
+Wall-clock numbers are best-of-``repeats`` to suppress scheduler noise.
+``PRE_CHANGE_WALL_S`` preserves the measurements taken against the
+pre-active-set core when this benchmark was introduced, so the file always
+carries the trajectory baseline with it.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+
+from ..network.config import BASELINE, PSEUDO_SB, NetworkConfig
+from ..network.simulator import build_network
+from ..topology import make_topology
+from ..traffic.synthetic import SyntheticTraffic
+
+#: (name, scheme, injection rate in flits/terminal/cycle). 0.02 sits in the
+#: paper's low-load latency region; 0.30 is just past saturation for the
+#: baseline 8x8 mesh with XY routing.
+CANONICAL_WORKLOADS = (
+    ("mesh8x8-uniform-low-baseline", BASELINE, 0.02),
+    ("mesh8x8-uniform-low-pseudo_sb", PSEUDO_SB, 0.02),
+    ("mesh8x8-uniform-sat-baseline", BASELINE, 0.30),
+    ("mesh8x8-uniform-sat-pseudo_sb", PSEUDO_SB, 0.30),
+)
+
+#: Wall-clock of the pre-active-set core (commit b4c3d8c) on the canonical
+#: workloads, measured with this same driver (cycles=1500, best of 2) on
+#: the machine where the active-set core was developed. Kept as the fixed
+#: origin of the perf trajectory; only comparable to runs with default
+#: ``cycles`` on similar hardware.
+PRE_CHANGE_WALL_S = {
+    "mesh8x8-uniform-low-baseline": 0.497,
+    "mesh8x8-uniform-low-pseudo_sb": 0.616,
+    "mesh8x8-uniform-sat-baseline": 3.936,
+    "mesh8x8-uniform-sat-pseudo_sb": 5.694,
+}
+
+DEFAULT_CYCLES = 1500
+DEFAULT_REPEATS = 3
+_SEED = 7
+
+
+def _simulate(scheme, rate: float, cycles: int, active: bool):
+    """Run one canonical workload once; returns (stats dict, wall seconds)."""
+    config = NetworkConfig(num_vcs=4, buffer_depth=4, pseudo=scheme)
+    topo = make_topology("mesh", 8, 8, 1)
+    net = build_network(topo, config=config, seed=_SEED, active_set=active)
+    traffic = SyntheticTraffic("uniform", topo.num_terminals, rate, 5,
+                               seed=_SEED)
+    net.stats.warmup_cycles = cycles // 5
+    start = time.perf_counter()
+    net.run(cycles, traffic)
+    net.drain(max_cycles=500_000)
+    wall = time.perf_counter() - start
+    fingerprint = dict(vars(net.stats))
+    fingerprint.pop("_lat_samples", None)
+    fingerprint["final_cycle"] = net.cycle
+    return fingerprint, wall
+
+
+def time_workload(scheme, rate: float, cycles: int = DEFAULT_CYCLES,
+                  repeats: int = DEFAULT_REPEATS) -> dict:
+    """Time one workload in both stepping modes and cross-check stats."""
+    active_walls, reference_walls = [], []
+    active_stats = reference_stats = None
+    for _ in range(repeats):
+        active_stats, wall = _simulate(scheme, rate, cycles, active=True)
+        active_walls.append(wall)
+        reference_stats, wall = _simulate(scheme, rate, cycles, active=False)
+        reference_walls.append(wall)
+    if active_stats != reference_stats:
+        raise AssertionError(
+            f"active-set stats diverged from exhaustive stepping for "
+            f"{scheme.label}@{rate}")
+    wall_s = min(active_walls)
+    reference_wall_s = min(reference_walls)
+    return {
+        "scheme": scheme.label,
+        "rate": rate,
+        "cycles": cycles,
+        "packets": active_stats["ejected_packets"],
+        "wall_s": round(wall_s, 4),
+        "reference_wall_s": round(reference_wall_s, 4),
+        "speedup_vs_reference": round(reference_wall_s / wall_s, 3),
+        "stats_identical": True,
+    }
+
+
+def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
+              out_path: str | None = "BENCH_core.json",
+              show: bool = True) -> dict:
+    """Time every canonical workload; optionally write ``BENCH_core.json``."""
+    workloads = []
+    for name, scheme, rate in CANONICAL_WORKLOADS:
+        row = {"name": name,
+               **time_workload(scheme, rate, cycles, repeats)}
+        pre = PRE_CHANGE_WALL_S.get(name)
+        if pre is not None and cycles == DEFAULT_CYCLES:
+            row["pre_change_wall_s"] = pre
+            row["speedup_vs_pre_change"] = round(pre / row["wall_s"], 3)
+        workloads.append(row)
+        if show:
+            speedup = row.get("speedup_vs_pre_change")
+            trail = (f"  {speedup}x vs pre-change"
+                     if speedup is not None else "")
+            print(f"{name:32s} {row['wall_s']:7.3f}s  "
+                  f"(reference {row['reference_wall_s']:7.3f}s){trail}")
+    report = {
+        "meta": {
+            "generated_unix": int(time.time()),
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cycles": cycles,
+            "repeats": repeats,
+            "seed": _SEED,
+            "pre_change_note": (
+                "pre_change_wall_s columns replay the measurements taken "
+                "against the pre-active-set core (commit b4c3d8c) with "
+                "this driver at default scale; comparable only on similar "
+                "hardware."),
+        },
+        "workloads": workloads,
+    }
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        if show:
+            print(f"wrote {out_path}")
+    return report

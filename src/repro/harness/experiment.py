@@ -151,7 +151,22 @@ def _replay(net: Network, trace: Trace) -> None:
     while not replay.exhausted:
         replay.tick(net, net.cycle)
         net.step()
+        nxt = replay.next_injection_cycle(net.cycle)
+        if nxt is not None:
+            # Idle gaps between scheduled injections are skipped outright.
+            net.fast_forward(nxt, nxt)
     net.drain(max_cycles=500_000)
+
+
+def cached(config: ExperimentConfig) -> Result | None:
+    """Return the memoized result for ``config``, if any."""
+    return _run_cache.get(config)
+
+
+def cache_result(result: Result) -> None:
+    """Fold an externally computed result (e.g. from a worker process)
+    into the in-process memo."""
+    _run_cache[result.config] = result
 
 
 def clear_cache() -> None:

@@ -8,6 +8,13 @@ ones for a full evaluation (see ``examples/full_evaluation.py``).
 
 Runs are memoized process-wide, so figures that share configurations
 (Figs. 9, 10 and 11 use the same grid) pay for each simulation once.
+
+The experiment-driven figures take ``max_workers``: each one enumerates
+every configuration it is about to request, warms the run cache through
+``parallel.prefetch`` (which fans the simulations out over worker
+processes), and then executes its original serial loop against the cache.
+Results are bit-identical to a serial run — parallelism only changes where
+the simulations execute, never their seeds or their order in the output.
 """
 
 from __future__ import annotations
@@ -19,8 +26,8 @@ from ..network.config import (ALL_SCHEMES, BASELINE, PC_SCHEMES, PSEUDO_SB,
 from ..network.flit import Packet
 from ..network.simulator import Network
 from ..topology.mesh import Mesh
-from ..traffic.benchmarks import BENCHMARKS
-from .experiment import ExperimentConfig, Result, run_experiment
+from .experiment import ExperimentConfig, run_experiment
+from .parallel import prefetch
 from .report import print_table, reduction
 from .traces import get_cmp_run
 
@@ -120,9 +127,17 @@ def _warm_flow_latency(scheme: PseudoCircuitConfig, hops: int) -> int:
 # ---------------------------------------------------------------------------
 
 def fig8(benchmarks=QUICK_BENCHMARKS, trace_cycles: int = 2000,
-         seed: int = 1, show: bool = True) -> list[dict]:
+         seed: int = 1, show: bool = True,
+         max_workers: int | None = None) -> list[dict]:
     """Latency reduction (vs the best baseline) and reusability for the
     four pseudo-circuit schemes, per benchmark plus average."""
+    prefetch([_trace_config(bench, *BEST_BASELINE, BASELINE,
+                            trace_cycles, seed)
+              for bench in benchmarks]
+             + [_trace_config(bench, *PSEUDO_CONFIG, scheme,
+                              trace_cycles, seed)
+                for bench in benchmarks for scheme in PC_SCHEMES],
+             max_workers=max_workers)
     rows = []
     for bench in benchmarks:
         base = run_experiment(_trace_config(
@@ -158,9 +173,15 @@ def fig8(benchmarks=QUICK_BENCHMARKS, trace_cycles: int = 2000,
 # Figs. 9/10 — routing x VA grid: latency reduction and reusability
 # ---------------------------------------------------------------------------
 
-def _grid(benchmarks, trace_cycles: int, seed: int) -> list[dict]:
+def _grid(benchmarks, trace_cycles: int, seed: int,
+          max_workers: int | None = None) -> list[dict]:
     """Latency reduction here is measured against the *same* routing/VA
     baseline, isolating the pseudo-circuit effect per combination."""
+    prefetch([_trace_config(bench, routing, va, scheme, trace_cycles, seed)
+              for bench in benchmarks for routing in ROUTINGS
+              for va in VA_POLICIES
+              for scheme in (BASELINE, *PC_SCHEMES)],
+             max_workers=max_workers)
     rows = []
     for bench in benchmarks:
         for routing in ROUTINGS:
@@ -184,9 +205,10 @@ def _grid(benchmarks, trace_cycles: int, seed: int) -> list[dict]:
 
 
 def fig9(benchmarks=("fma3d", "specjbb", "radix"), trace_cycles: int = 2000,
-         seed: int = 1, show: bool = True) -> list[dict]:
+         seed: int = 1, show: bool = True,
+         max_workers: int | None = None) -> list[dict]:
     """Latency reduction for every routing x VA x scheme combination."""
-    rows = _grid(benchmarks, trace_cycles, seed)
+    rows = _grid(benchmarks, trace_cycles, seed, max_workers)
     if show:
         print_table(
             "Fig. 9: latency reduction grid (vs same-configuration baseline)",
@@ -197,9 +219,10 @@ def fig9(benchmarks=("fma3d", "specjbb", "radix"), trace_cycles: int = 2000,
 
 
 def fig10(benchmarks=("fma3d", "specjbb", "radix"), trace_cycles: int = 2000,
-          seed: int = 1, show: bool = True) -> list[dict]:
+          seed: int = 1, show: bool = True,
+          max_workers: int | None = None) -> list[dict]:
     """Reusability for every routing x VA x scheme combination."""
-    rows = _grid(benchmarks, trace_cycles, seed)
+    rows = _grid(benchmarks, trace_cycles, seed, max_workers)
     if show:
         print_table(
             "Fig. 10: pseudo-circuit reusability grid",
@@ -214,9 +237,15 @@ def fig10(benchmarks=("fma3d", "specjbb", "radix"), trace_cycles: int = 2000,
 # ---------------------------------------------------------------------------
 
 def fig11(benchmarks=("fma3d", "specjbb", "radix"), trace_cycles: int = 2000,
-          seed: int = 1, show: bool = True) -> list[dict]:
+          seed: int = 1, show: bool = True,
+          max_workers: int | None = None) -> list[dict]:
     """Router energy (normalized to the same-configuration baseline) for XY
     and YX with static VA, per scheme."""
+    prefetch([_trace_config(bench, routing, "static", scheme,
+                            trace_cycles, seed)
+              for routing in ("xy", "yx") for bench in benchmarks
+              for scheme in (BASELINE, *PC_SCHEMES)],
+             max_workers=max_workers)
     rows = []
     for routing in ("xy", "yx"):
         for bench in benchmarks:
@@ -247,19 +276,23 @@ def fig11(benchmarks=("fma3d", "specjbb", "radix"), trace_cycles: int = 2000,
 
 def fig12(patterns=("uniform", "bitcomp", "transpose"),
           loads=(0.05, 0.10, 0.15, 0.25), schemes=ALL_SCHEMES,
-          cycles: int = 1000, seed: int = 1, show: bool = True) -> list[dict]:
+          cycles: int = 1000, seed: int = 1, show: bool = True,
+          max_workers: int | None = None) -> list[dict]:
     """Latency vs offered load on an 8x8 mesh, XY routing + static VA."""
+    def _cfg(pattern, load, scheme):
+        return ExperimentConfig(
+            topology="mesh", kx=8, ky=8, concentration=1,
+            routing="xy", vc_policy="static", scheme=scheme,
+            pattern=pattern, rate=load, packet_size=5,
+            synth_cycles=cycles, synth_warmup=cycles // 4, seed=seed)
+    prefetch([_cfg(pattern, load, scheme) for pattern in patterns
+              for load in loads for scheme in schemes],
+             max_workers=max_workers)
     rows = []
     for pattern in patterns:
         for load in loads:
             for scheme in schemes:
-                cfg = ExperimentConfig(
-                    topology="mesh", kx=8, ky=8, concentration=1,
-                    routing="xy", vc_policy="static", scheme=scheme,
-                    pattern=pattern, rate=load, packet_size=5,
-                    synth_cycles=cycles, synth_warmup=cycles // 4,
-                    seed=seed)
-                res = run_experiment(cfg)
+                res = run_experiment(_cfg(pattern, load, scheme))
                 rows.append({"pattern": pattern, "load": load,
                              "scheme": scheme.label,
                              "latency": res.avg_latency,
@@ -285,19 +318,24 @@ TOPOLOGY_POINTS = (
 
 
 def fig13(benchmark: str = "fma3d", trace_cycles: int = 2000, seed: int = 1,
-          show: bool = True) -> list[dict]:
+          show: bool = True, max_workers: int | None = None) -> list[dict]:
     """Latency of every scheme on mesh/cmesh/MECS/FBFLY, normalized to the
     baseline mesh (DOR XY + static VA, as in the paper)."""
+    def _cfg(topo, kx, ky, conc, scheme):
+        return ExperimentConfig(
+            topology=topo, kx=kx, ky=ky, concentration=conc,
+            routing="xy", vc_policy="static", scheme=scheme,
+            benchmark=benchmark, trace_cycles=trace_cycles,
+            trace_warmup=max(200, trace_cycles // 5), seed=seed)
+    prefetch([_cfg(topo, kx, ky, conc, scheme)
+              for topo, kx, ky, conc in TOPOLOGY_POINTS
+              for scheme in ALL_SCHEMES],
+             max_workers=max_workers)
     rows = []
     mesh_base = None
     for topo, kx, ky, conc in TOPOLOGY_POINTS:
         for scheme in ALL_SCHEMES:
-            cfg = ExperimentConfig(
-                topology=topo, kx=kx, ky=ky, concentration=conc,
-                routing="xy", vc_policy="static", scheme=scheme,
-                benchmark=benchmark, trace_cycles=trace_cycles,
-                trace_warmup=max(200, trace_cycles // 5), seed=seed)
-            res = run_experiment(cfg)
+            res = run_experiment(_cfg(topo, kx, ky, conc, scheme))
             if mesh_base is None:
                 mesh_base = res.avg_latency
             rows.append({"topology": topo, "scheme": scheme.label,
@@ -318,23 +356,28 @@ def fig13(benchmark: str = "fma3d", trace_cycles: int = 2000, seed: int = 1,
 # Fig. 14 — comparison with express virtual channels
 # ---------------------------------------------------------------------------
 
+FIG14_POINTS = (("mesh", "mesh", 8, 8, 1), ("cmesh", "cmesh", 4, 4, 4))
+
+
 def fig14(benchmark: str = "fma3d", trace_cycles: int = 2000, seed: int = 1,
-          show: bool = True) -> list[dict]:
+          show: bool = True, max_workers: int | None = None) -> list[dict]:
     """Baseline vs EVC vs Pseudo+S+B on a mesh and a concentrated mesh."""
+    def cfg(topology, kx, ky, conc, scheme):
+        return ExperimentConfig(
+            topology=topology, kx=kx, ky=ky, concentration=conc,
+            routing="xy", vc_policy="dynamic", scheme=scheme,
+            benchmark=benchmark, trace_cycles=trace_cycles,
+            trace_warmup=max(200, trace_cycles // 5), seed=seed)
+    prefetch([cfg(t, kx, ky, conc, scheme)
+              for _, topo, kx, ky, conc in FIG14_POINTS
+              for t, scheme in ((topo, BASELINE), ("evc_mesh", BASELINE),
+                                (topo, PSEUDO_SB))],
+             max_workers=max_workers)
     rows = []
-    for label, base_topo, evc_kx, evc_ky, conc in (
-            ("mesh", ("mesh", 8, 8, 1), 8, 8, 1),
-            ("cmesh", ("cmesh", 4, 4, 4), 4, 4, 4)):
-        topo_name, kx, ky, tconc = base_topo
-        def cfg(topology, scheme, vc_policy="dynamic"):
-            return ExperimentConfig(
-                topology=topology, kx=kx, ky=ky, concentration=tconc,
-                routing="xy", vc_policy=vc_policy, scheme=scheme,
-                benchmark=benchmark, trace_cycles=trace_cycles,
-                trace_warmup=max(200, trace_cycles // 5), seed=seed)
-        base = run_experiment(cfg(topo_name, BASELINE))
-        evc = run_experiment(cfg("evc_mesh", BASELINE))
-        pseudo = run_experiment(cfg(topo_name, PSEUDO_SB))
+    for label, topo_name, kx, ky, tconc in FIG14_POINTS:
+        base = run_experiment(cfg(topo_name, kx, ky, tconc, BASELINE))
+        evc = run_experiment(cfg("evc_mesh", kx, ky, tconc, BASELINE))
+        pseudo = run_experiment(cfg(topo_name, kx, ky, tconc, PSEUDO_SB))
         for name, res in (("Baseline", base), ("EVC", evc),
                           ("Pseudo+S+B", pseudo)):
             rows.append({"topology": label, "scheme": name,

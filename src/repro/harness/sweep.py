@@ -10,27 +10,19 @@ ablation experiments a reviewer would ask for:
   can stream and delay credit terminations;
 * ``sweep_load`` — reuse decays as contention rises (the paper's Section
   VIII observation that pseudo-circuits help little at saturation).
+
+Every sweep point gets its own seed derived from the sweep seed (see
+``parallel.derive_seed``), and all points of a sweep are dispatched through
+``parallel.run_experiments``: simulations run across worker processes, and
+the ordered merge keeps the returned rows bit-identical to a serial run.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from ..network.config import BASELINE, PSEUDO_SB
-from .experiment import ExperimentConfig, run_experiment
+from .experiment import ExperimentConfig
+from .parallel import derive_seed, run_experiments
 from .report import reduction
-
-
-def _point(cfg: ExperimentConfig) -> dict:
-    base = run_experiment(cfg.with_scheme(BASELINE))
-    full = run_experiment(cfg.with_scheme(PSEUDO_SB))
-    return {
-        "baseline_latency": base.avg_latency,
-        "latency": full.avg_latency,
-        "reduction": reduction(base.avg_latency, full.avg_latency),
-        "reusability": full.reusability,
-        "buffer_bypass_rate": full.buffer_bypass_rate,
-    }
 
 
 def _synthetic(**overrides) -> ExperimentConfig:
@@ -42,25 +34,52 @@ def _synthetic(**overrides) -> ExperimentConfig:
     return ExperimentConfig(**defaults)
 
 
-def sweep_vcs(vc_counts=(2, 4, 8), **overrides) -> list[dict]:
+def _rows(key: str, points: list, max_workers: int | None) -> list[dict]:
+    """Simulate baseline + Pseudo+S+B for every point, merged in order."""
+    configs = []
+    for _, cfg in points:
+        configs.append(cfg.with_scheme(BASELINE))
+        configs.append(cfg.with_scheme(PSEUDO_SB))
+    results = run_experiments(configs, max_workers=max_workers)
     rows = []
-    for num_vcs in vc_counts:
-        cfg = _synthetic(num_vcs=num_vcs, **overrides)
-        rows.append({"num_vcs": num_vcs, **_point(cfg)})
+    for k, (value, _) in enumerate(points):
+        base, full = results[2 * k], results[2 * k + 1]
+        rows.append({
+            key: value,
+            "baseline_latency": base.avg_latency,
+            "latency": full.avg_latency,
+            "reduction": reduction(base.avg_latency, full.avg_latency),
+            "reusability": full.reusability,
+            "buffer_bypass_rate": full.buffer_bypass_rate,
+        })
     return rows
 
 
-def sweep_buffer_depth(depths=(2, 4, 8), **overrides) -> list[dict]:
-    rows = []
-    for depth in depths:
-        cfg = _synthetic(buffer_depth=depth, **overrides)
-        rows.append({"buffer_depth": depth, **_point(cfg)})
-    return rows
+def sweep_vcs(vc_counts=(2, 4, 8), max_workers: int | None = None,
+              **overrides) -> list[dict]:
+    sweep_seed = overrides.pop("seed", 1)
+    points = [(n, _synthetic(num_vcs=n,
+                             seed=derive_seed(sweep_seed, "vcs", n),
+                             **overrides))
+              for n in vc_counts]
+    return _rows("num_vcs", points, max_workers)
 
 
-def sweep_load(loads=(0.05, 0.15, 0.25), **overrides) -> list[dict]:
-    rows = []
-    for load in loads:
-        cfg = _synthetic(rate=load, **overrides)
-        rows.append({"load": load, **_point(cfg)})
-    return rows
+def sweep_buffer_depth(depths=(2, 4, 8), max_workers: int | None = None,
+                       **overrides) -> list[dict]:
+    sweep_seed = overrides.pop("seed", 1)
+    points = [(d, _synthetic(buffer_depth=d,
+                             seed=derive_seed(sweep_seed, "buffers", d),
+                             **overrides))
+              for d in depths]
+    return _rows("buffer_depth", points, max_workers)
+
+
+def sweep_load(loads=(0.05, 0.15, 0.25), max_workers: int | None = None,
+               **overrides) -> list[dict]:
+    sweep_seed = overrides.pop("seed", 1)
+    points = [(load, _synthetic(rate=load,
+                                seed=derive_seed(sweep_seed, "load", load),
+                                **overrides))
+              for load in loads]
+    return _rows("load", points, max_workers)

@@ -67,7 +67,7 @@ class NetworkStats:
     def record_termination(self, reason: Termination) -> None:
         self.pc_terminations[reason] += 1
 
-    # -- derived metrics --------------------------------------------------------
+    # -- derived metrics ------------------------------------------------------
 
     @property
     def avg_latency(self) -> float:

@@ -70,3 +70,9 @@ class CreditChannel:
 
     def pending(self) -> int:
         return len(self._inflight)
+
+    def next_due(self) -> int:
+        """Arrival cycle of the earliest in-flight credit."""
+        if not self._inflight:
+            raise IndexError("next_due() on empty credit channel")
+        return self._inflight[0][0]

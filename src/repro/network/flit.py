@@ -120,26 +120,23 @@ class Packet:
 class Flit:
     """One link-width unit of a packet in flight."""
 
-    __slots__ = ("packet", "ftype", "index", "vc", "ready_cycle")
+    __slots__ = ("packet", "ftype", "index", "vc", "ready_cycle",
+                 "is_head", "is_tail")
 
     def __init__(self, packet: Packet, ftype: FlitType, index: int):
         self.packet = packet
         self.ftype = ftype
         self.index = index
+        # Flattened from ftype at construction: the router checks these on
+        # every pipeline stage and the type of a flit never changes.
+        self.is_head = ftype is FlitType.HEAD or ftype is FlitType.HEAD_TAIL
+        self.is_tail = ftype is FlitType.TAIL or ftype is FlitType.HEAD_TAIL
         # Input VC currently holding the flit; rewritten at every hop when the
         # upstream router picks the downstream VC (VC allocation).
         self.vc = -1
         # First cycle this flit may arbitrate at its current router (set to
         # arrival+1 on buffer write: the buffer-write stage takes one cycle).
         self.ready_cycle = 0
-
-    @property
-    def is_head(self) -> bool:
-        return self.ftype.is_head
-
-    @property
-    def is_tail(self) -> bool:
-        return self.ftype.is_tail
 
     @property
     def dst(self) -> int:

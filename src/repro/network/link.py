@@ -5,6 +5,11 @@ of the endpoint chosen at switch traversal. Arrival cycles are computed by
 the sender (they depend on whether the flit went through SA or bypassed);
 the link is a time-ordered queue that hands each flit to the destination
 router at its arrival cycle.
+
+When the owning :class:`~repro.network.simulator.Network` runs in
+active-set mode it binds each link to a live-link registry (a dict keyed by
+link id); ``deliver`` then registers the link so the simulator only ticks
+links that actually carry flits.
 """
 
 from __future__ import annotations
@@ -21,13 +26,24 @@ _seq = itertools.count()
 class Link:
     """Time-ordered in-flight flit queue for one channel."""
 
-    __slots__ = ("_heap",)
+    __slots__ = ("_heap", "link_id", "_live")
 
     def __init__(self):
         self._heap: list[tuple[int, int, Flit, OutEndpoint]] = []
+        # Wired by the Network in active-set mode.
+        self.link_id = -1
+        self._live: dict | None = None
+
+    def bind(self, link_id: int, live: dict | None) -> None:
+        """Attach this link to the network's live-link registry."""
+        self.link_id = link_id
+        self._live = live
 
     def deliver(self, flit: Flit, endpoint: OutEndpoint, cycle: int) -> None:
         """Schedule ``flit`` to arrive at ``endpoint`` at ``cycle``."""
+        live = self._live
+        if live is not None:
+            live[self.link_id] = self
         heapq.heappush(self._heap, (cycle, next(_seq), flit, endpoint))
 
     def tick(self, now: int, routers) -> None:
@@ -36,6 +52,12 @@ class Link:
         while heap and heap[0][0] <= now:
             _, _, flit, ep = heapq.heappop(heap)
             routers[ep.router].accept_flit(ep.in_port, flit)
+
+    def next_arrival(self) -> int:
+        """Arrival cycle of the earliest in-flight flit."""
+        if not self._heap:
+            raise IndexError("next_arrival() on empty link")
+        return self._heap[0][0]
 
     @property
     def in_flight(self) -> int:

@@ -45,6 +45,13 @@ class InjectEndpoint:
 class Nic:
     """One terminal's network interface."""
 
+    __slots__ = ("terminal", "config", "routing", "vc_policy", "stats",
+                 "rng", "queue", "inject_state", "_sending", "_send_rr",
+                 "outstanding", "inject_link", "inject_endpoint",
+                 "eject_endpoint", "_eject_credit_due", "_rx_flits",
+                 "_eject_heap", "on_packet", "ejected", "keep_ejected",
+                 "_inject_set", "_eject_set")
+
     def __init__(self, terminal: int, config: NetworkConfig,
                  routing: RoutingAlgorithm, vc_policy: VCAllocationPolicy,
                  stats: NetworkStats, rng: random.Random):
@@ -75,8 +82,17 @@ class Nic:
         self.on_packet = None  # callback(packet, cycle)
         self.ejected: list[Packet] = []
         self.keep_ejected = False
+        # Active-set registries (dicts keyed by terminal id), bound by the
+        # Network when it runs in active-set mode; None when standalone.
+        self._inject_set: dict | None = None
+        self._eject_set: dict | None = None
 
-    # -- sending ----------------------------------------------------------------
+    def bind_scheduler(self, inject_set: dict, eject_set: dict) -> None:
+        """Attach this NIC to the network's active-set registries."""
+        self._inject_set = inject_set
+        self._eject_set = eject_set
+
+    # -- sending --------------------------------------------------------------
 
     def enqueue(self, packet: Packet) -> None:
         """Hand a packet to the NIC (source queuing starts here)."""
@@ -84,6 +100,9 @@ class Nic:
             raise RuntimeError(
                 f"NIC {self.terminal}: source queue overflow "
                 f"({self.config.inject_queue})")
+        inject_set = self._inject_set
+        if inject_set is not None:
+            inject_set[self.terminal] = self
         self.routing.on_inject(packet, self.rng)
         self.queue.append(packet)
 
@@ -136,10 +155,13 @@ class Nic:
         self.outstanding += 1
         self._sending[vc] = [packet, packet.make_flits(), 0]
 
-    # -- receiving -----------------------------------------------------------------
+    # -- receiving ------------------------------------------------------------
 
     def deliver(self, flit: Flit, endpoint, cycle: int) -> None:
         """Sink interface used by the router's ejection output port."""
+        eject_set = self._eject_set
+        if eject_set is not None:
+            eject_set[self.terminal] = self
         heapq.heappush(self._eject_heap, (cycle, next(_seq), flit))
 
     def tick_eject(self, cycle: int, network) -> None:
@@ -171,9 +193,30 @@ class Nic:
             else:
                 self._rx_flits[packet.pid] = got
 
-    # -- introspection ----------------------------------------------------------------
+    # -- introspection --------------------------------------------------------
 
     @property
     def idle(self) -> bool:
         return (not self.queue and not self._sending
                 and not self._eject_heap)
+
+    @property
+    def inject_active(self) -> bool:
+        """True while tick_inject can make progress on some cycle."""
+        return bool(self.queue) or bool(self._sending)
+
+    @property
+    def eject_active(self) -> bool:
+        """True while tick_eject has queued flits or credit returns."""
+        return bool(self._eject_heap) or bool(self._eject_credit_due)
+
+    def next_eject_cycle(self) -> int:
+        """Earliest cycle at which tick_eject has scheduled work."""
+        heap, due = self._eject_heap, self._eject_credit_due
+        if heap and due:
+            return min(heap[0][0], due[0][0])
+        if heap:
+            return heap[0][0]
+        if due:
+            return due[0][0]
+        raise IndexError("next_eject_cycle() on idle ejection side")

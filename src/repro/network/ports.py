@@ -34,7 +34,8 @@ class OutVC:
 
 
 class OutEndpoint:
-    """One drop point of an output channel, as tracked by the upstream router."""
+    """One drop point of an output channel, tracked by the upstream
+    router."""
 
     __slots__ = ("router", "in_port", "latency", "ovcs")
 
@@ -49,7 +50,10 @@ class OutEndpoint:
         self.ovcs[vc].credits.restore()
 
     def any_credit(self) -> bool:
-        return any(ovc.credits.count > 0 for ovc in self.ovcs)
+        for ovc in self.ovcs:
+            if ovc.credits.count > 0:
+                return True
+        return False
 
 
 class OutputPort:
@@ -78,7 +82,11 @@ class OutputPort:
         self.is_ejection = is_ejection
 
     def any_credit(self) -> bool:
-        return any(ep.any_credit() for ep in self.endpoints)
+        for ep in self.endpoints:
+            for ovc in ep.ovcs:
+                if ovc.credits.count > 0:
+                    return True
+        return False
 
 
 class InputPort:
@@ -105,8 +113,11 @@ class InputPort:
     def send_credit(self, vc: int, now: int) -> None:
         self.credit_channel.send(vc, now)
 
-    def deliver_credits(self, now: int) -> None:
+    def deliver_credits(self, now: int) -> int:
+        """Deliver due credit returns upstream; returns how many landed."""
         if self.upstream is None:
-            return
-        for vc in self.credit_channel.deliver(now):
+            return 0
+        delivered = self.credit_channel.deliver(now)
+        for vc in delivered:
             self.upstream.restore_credit(vc)
+        return len(delivered)

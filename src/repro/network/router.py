@@ -44,8 +44,18 @@ class ProtocolError(RuntimeError):
     """A flow-control or wormhole invariant was violated."""
 
 
+_EMPTY: frozenset = frozenset()  # shared placeholder for unused claim sets
+
+
 class Router:
     """One router; ports are wired by the Network at build time."""
+
+    __slots__ = ("router_id", "config", "routing", "vc_policy", "stats",
+                 "in_ports", "out_ports", "_in_arbs", "_out_arbs",
+                 "_arrivals", "_buffered_flits", "_occupied",
+                 "_pc_enabled", "_pc_speculation", "_pc_bypass",
+                 "_pending_credits", "_credit_ports", "_registers",
+                 "_work_set", "_credit_set")
 
     def __init__(self, router_id: int, num_inports: int, num_outports: int,
                  config: NetworkConfig, routing: RoutingAlgorithm,
@@ -68,40 +78,94 @@ class Router:
                           for _ in range(num_outports)]
         self._arrivals: list[tuple[int, Flit]] = []
         self._buffered_flits = 0
+        # (in_port, vc_id) pairs whose buffers hold at least one flit; the
+        # VA and SA scans iterate this instead of every port x VC.
+        self._occupied: set[tuple[int, int]] = set()
+        # The per-input pseudo-circuit registers never change identity
+        # after construction; speculation scans this list every step.
+        self._registers = [ip.pc for ip in self.in_ports]
+        # Scheme flags, flattened out of the frozen config (step() reads
+        # them every cycle for every active router).
+        self._pc_enabled = config.pseudo.enabled
+        self._pc_speculation = config.pseudo.speculation
+        self._pc_bypass = config.pseudo.buffer_bypass
+        # In-flight credit returns across all input ports (drives the
+        # credit-delivery active set) and which ports hold them.
+        self._pending_credits = 0
+        self._credit_ports: set[int] = set()
+        # Active-set registries (dicts keyed by router id), bound by the
+        # Network when it runs in active-set mode; None when standalone.
+        self._work_set: dict | None = None
+        self._credit_set: dict | None = None
 
     # -- wiring (used by Network) ---------------------------------------------
 
     def attach_output(self, port: int, output: OutputPort) -> None:
         self.out_ports[port] = output
 
-    # -- per-cycle entry points -------------------------------------------------
+    def bind_scheduler(self, work_set: dict, credit_set: dict) -> None:
+        """Attach this router to the network's active-set registries."""
+        self._work_set = work_set
+        self._credit_set = credit_set
+
+    # -- per-cycle entry points -----------------------------------------------
 
     def accept_flit(self, in_port: int, flit: Flit) -> None:
         """Stage a flit delivered by an upstream channel this cycle."""
+        work = self._work_set
+        if work is not None:
+            work[self.router_id] = self
         self._arrivals.append((in_port, flit))
 
+    @property
+    def has_work(self) -> bool:
+        """True while this router can make progress (arrivals or buffers)."""
+        return bool(self._arrivals) or self._buffered_flits > 0
+
     def deliver_credits(self, cycle: int) -> None:
-        for ip in self.in_ports:
-            if ip.credit_channel.pending():
-                ip.deliver_credits(cycle)
+        if self._pending_credits == 0:
+            return
+        delivered = 0
+        ports = self.in_ports
+        credit_ports = self._credit_ports
+        for i in sorted(credit_ports):
+            ip = ports[i]
+            delivered += ip.deliver_credits(cycle)
+            if not ip.credit_channel.pending():
+                credit_ports.discard(i)
+        self._pending_credits -= delivered
+
+    def next_credit_cycle(self) -> int:
+        """Earliest due cycle among the in-flight credit returns."""
+        ports = self.in_ports
+        return min(ports[i].credit_channel.next_due()
+                   for i in self._credit_ports)
 
     def step(self, cycle: int) -> None:
         if not self._arrivals and self._buffered_flits == 0:
             return  # idle router: nothing can happen this cycle
-        pc = self.config.pseudo
+        # Hoist per-cycle attribute lookups out of the phase loops.
+        in_ports = self.in_ports
+        out_ports = self.out_ports
+        pc_enabled = self._pc_enabled
         self._va_phase(cycle)
-        if pc.enabled:
+        if pc_enabled:
             candidates = self._pc_candidates(cycle)
         else:
             candidates = {}
         requests = self._collect_requests(cycle, candidates)
-        claimed_in = {i for i, _ in requests}
-        claimed_out = {vc.out_port for _, vc in requests}
+        if candidates or (self._pc_bypass and self._arrivals):
+            # The claimed sets are only consulted by the bypass paths
+            # below; without pseudo-circuits they are never read.
+            claimed_in = {i for i, _ in requests}
+            claimed_out = {vc.out_port for _, vc in requests}
+        else:
+            claimed_in = claimed_out = _EMPTY
         # Bypass unblocked pseudo-circuit candidates; blocked ones join SA.
         for i in sorted(candidates):
             vc = candidates[i]
-            out = self.out_ports[vc.out_port]
-            in_busy = self.in_ports[i].st_busy_cycle == cycle
+            out = out_ports[vc.out_port]
+            in_busy = in_ports[i].st_busy_cycle == cycle
             out_busy = out.st_busy_cycle == cycle
             if (i in claimed_in or vc.out_port in claimed_out
                     or in_busy != out_busy):
@@ -120,35 +184,46 @@ class Router:
         self._process_arrivals(cycle, claimed_in, claimed_out)
         for i, vc in self._allocate_switch(requests):
             self._traverse(cycle, i, vc, via="sa")
-        if pc.enabled:
+        if pc_enabled:
             self._credit_terminations()
-            if pc.speculation:
+            if self._pc_speculation:
                 self._speculate()
 
-    # -- VA stage -----------------------------------------------------------------
+    # -- VA stage -------------------------------------------------------------
 
     def _va_phase(self, cycle: int) -> None:
+        occupied = self._occupied
+        if not occupied:
+            return
         ports = self.in_ports
         num = len(ports)
+        router_id = self.router_id
+        route = self.routing.route
+        idle, va = VCState.IDLE, VCState.VA
         start = cycle % num  # rotate service order for fairness
-        for k in range(num):
-            ip = ports[(start + k) % num]
-            for vc in ip.vcs:
-                if not vc.buffer:
-                    continue
-                front = vc.buffer.front()
-                if front.ready_cycle > cycle:
-                    continue
-                if vc.state == VCState.IDLE:
-                    if not front.is_head:
-                        raise ProtocolError(
-                            f"router {self.router_id}: body flit at the "
-                            f"front of idle VC {vc.vc_id}: {front}")
-                    out_port, drop = self.routing.route(self.router_id,
-                                                        front.packet)
-                    vc.start_packet(out_port, drop)
-                if vc.state == VCState.VA:
-                    self._try_va(ip, vc, front)
+        # Visit only VCs that hold flits, in the same order the full
+        # port-rotation x VC scan would reach them. (A single entry needs
+        # no ordering at all — the common case at low load.)
+        if len(occupied) == 1:
+            ordered = occupied
+        else:
+            ordered = sorted(occupied,
+                             key=lambda pv: ((pv[0] - start) % num, pv[1]))
+        for i, v in ordered:
+            ip = ports[i]
+            vc = ip.vcs[v]
+            front = vc.buffer.front()
+            if front.ready_cycle > cycle:
+                continue
+            if vc.state == idle:
+                if not front.is_head:
+                    raise ProtocolError(
+                        f"router {router_id}: body flit at the "
+                        f"front of idle VC {vc.vc_id}: {front}")
+                out_port, drop = route(router_id, front.packet)
+                vc.start_packet(out_port, drop)
+            if vc.state == va:
+                self._try_va(ip, vc, front)
 
     def _try_va(self, ip: InputPort, vc: VirtualChannel, head: Flit) -> bool:
         out = self.out_ports[vc.out_port]
@@ -164,11 +239,12 @@ class Router:
         self.stats.va_allocations += 1
         return True
 
-    # -- pseudo-circuit candidates ---------------------------------------------
+    # -- pseudo-circuit candidates --------------------------------------------
 
     def _pc_candidates(self, cycle: int) -> dict[int, VirtualChannel]:
         """Input ports whose circuit's VC has a matching, ready front flit."""
         candidates: dict[int, VirtualChannel] = {}
+        out_ports = self.out_ports
         for i, ip in enumerate(self.in_ports):
             reg = ip.pc
             if not reg.valid:
@@ -189,28 +265,38 @@ class Router:
             elif vc.state != VCState.ACTIVE:
                 raise ProtocolError(
                     f"router {self.router_id}: body flit on inactive VC")
-            endpoint = self.out_ports[vc.out_port].endpoints[vc.out_ep]
+            endpoint = out_ports[vc.out_port].endpoints[vc.out_ep]
             if endpoint.ovcs[vc.out_vc].credits.count == 0:
                 self._terminate_pc(i, Termination.NO_CREDIT)
                 continue
             candidates[i] = vc
         return candidates
 
-    # -- SA stage --------------------------------------------------------------
+    # -- SA stage -------------------------------------------------------------
 
     def _collect_requests(self, cycle: int,
                           candidates: dict[int, VirtualChannel]
                           ) -> list[tuple[int, VirtualChannel]]:
         requests = []
-        for i, ip in enumerate(self.in_ports):
-            cand = candidates.get(i)
-            for vc in ip.vcs:
-                if vc is cand or not vc.ready_for_sa(cycle):
-                    continue
-                endpoint = self.out_ports[vc.out_port].endpoints[vc.out_ep]
-                if endpoint.ovcs[vc.out_vc].credits.count == 0:
-                    continue
-                requests.append((i, vc))
+        occupied = self._occupied
+        if not occupied:
+            return requests
+        ports = self.in_ports
+        out_ports = self.out_ports
+        get_candidate = candidates.get
+        active = VCState.ACTIVE
+        ordered = occupied if len(occupied) == 1 else sorted(occupied)
+        for i, v in ordered:
+            vc = ports[i].vcs[v]
+            # Inlined ready_for_sa: membership in the occupied set already
+            # guarantees the buffer is non-empty.
+            if (vc is get_candidate(i) or vc.state != active
+                    or vc.buffer.front().ready_cycle > cycle):
+                continue
+            endpoint = out_ports[vc.out_port].endpoints[vc.out_ep]
+            if endpoint.ovcs[vc.out_vc].credits.count == 0:
+                continue
+            requests.append((i, vc))
         return requests
 
     def _allocate_switch(self, requests: list[tuple[int, VirtualChannel]]
@@ -218,6 +304,13 @@ class Router:
         """Separable input-first allocation with round-robin arbiters."""
         if not requests:
             return []
+        if len(requests) == 1:
+            # Uncontended: both arbiters still rotate exactly as in the
+            # general path, so arbiter state stays bit-identical.
+            i, vc = requests[0]
+            self._in_arbs[i].grant((vc.vc_id,))
+            self._out_arbs[vc.out_port].grant((i,))
+            return requests
         by_input: dict[int, list[VirtualChannel]] = {}
         for i, vc in requests:
             by_input.setdefault(i, []).append(vc)
@@ -234,15 +327,20 @@ class Router:
             grants.append((winner, stage1[winner]))
         return grants
 
-    # -- arrivals: buffer write or buffer bypass ---------------------------------
+    # -- arrivals: buffer write or buffer bypass ------------------------------
 
     def _process_arrivals(self, cycle: int, claimed_in: set[int],
                           claimed_out: set[int]) -> None:
-        if not self._arrivals:
+        arrivals = self._arrivals
+        if not arrivals:
             return
-        bypass_on = self.config.pseudo.buffer_bypass
-        for i, flit in self._arrivals:
-            ip = self.in_ports[i]
+        bypass_on = self._pc_bypass
+        in_ports = self.in_ports
+        occupied_add = self._occupied.add
+        stats = self.stats
+        buffered = 0
+        for i, flit in arrivals:
+            ip = in_ports[i]
             vc = ip.vcs[flit.vc]
             if (bypass_on and ip.pc.valid and ip.pc.in_vc == flit.vc
                     and vc.buffer.is_empty
@@ -251,9 +349,11 @@ class Router:
                 continue
             flit.ready_cycle = cycle + 1
             vc.buffer.append(flit)
-            self._buffered_flits += 1
-            self.stats.buffer_writes += 1
-        self._arrivals.clear()
+            occupied_add((i, flit.vc))
+            buffered += 1
+        self._buffered_flits += buffered
+        stats.buffer_writes += buffered
+        arrivals.clear()
 
     def _try_buffer_bypass(self, cycle: int, i: int, ip: InputPort,
                            vc: VirtualChannel, flit: Flit,
@@ -304,7 +404,7 @@ class Router:
         self._traverse(cycle, i, vc, via="buf", arriving=flit)
         return True
 
-    # -- flit traversal (common to SA grants and both bypass kinds) -------------
+    # -- flit traversal (common to SA grants and both bypass kinds) -----------
 
     def _traverse(self, cycle: int, i: int, vc: VirtualChannel, via: str,
                   arriving: Flit | None = None,
@@ -313,11 +413,18 @@ class Router:
         stats = self.stats
         if arriving is None:
             flit = vc.buffer.pop()
+            if not vc.buffer:
+                self._occupied.discard((i, vc.vc_id))
             self._buffered_flits -= 1
             stats.buffer_reads += 1
         else:
             flit = arriving  # write-through bypass: the slot is never held
         ip.send_credit(vc.vc_id, cycle)
+        self._pending_credits += 1
+        self._credit_ports.add(i)
+        credit_set = self._credit_set
+        if credit_set is not None:
+            credit_set[self.router_id] = self
         out_port = vc.out_port
         out = self.out_ports[out_port]
         endpoint = out.endpoints[vc.out_ep]
@@ -347,7 +454,7 @@ class Router:
             if ip.last_pair == pair:
                 stats.e2e_repeats += 1
             ip.last_pair = pair
-        if self.config.pseudo.enabled:
+        if self._pc_enabled:
             self._establish_pc(i, vc.vc_id, out_port)
         # Crossbar occupancy: SA grants and streamed circuit followers
         # traverse next cycle, bypasses traverse now.
@@ -362,7 +469,7 @@ class Router:
             ovc_state.owner = None
             vc.finish_packet()
 
-    # -- pseudo-circuit bookkeeping ------------------------------------------------
+    # -- pseudo-circuit bookkeeping -------------------------------------------
 
     def _establish_pc(self, i: int, in_vc: int, out_port: int) -> None:
         ip = self.in_ports[i]
@@ -397,9 +504,16 @@ class Router:
                 self._terminate_pc(out.pc_holder, Termination.NO_CREDIT)
 
     def _speculate(self) -> None:
-        registers = [ip.pc for ip in self.in_ports]
+        registers = self._registers
+        # One register scan up front: only outputs some invalidated circuit
+        # still points at can possibly be restored, so everything else
+        # skips the credit check and the policy evaluation.
+        cand_outs = {reg.out_port for reg in registers
+                     if not reg.valid and reg.in_vc >= 0}
+        if not cand_outs:
+            return
         for out in self.out_ports:
-            if out.pc_holder != -1:
+            if out.pc_holder != -1 or out.port_id not in cand_outs:
                 continue
             restored = try_restore(out.port_id, out.history, registers,
                                    output_is_free=True,
@@ -408,7 +522,7 @@ class Router:
                 out.pc_holder = restored
                 self.stats.pc_restored += 1
 
-    # -- introspection (tests) ---------------------------------------------------
+    # -- introspection (tests) ------------------------------------------------
 
     def check_invariants(self) -> None:
         """Assert the pseudo-circuit and credit invariants (tests only)."""

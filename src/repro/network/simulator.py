@@ -12,10 +12,31 @@ steps them in a fixed phase order each cycle:
 Traffic sources drive the network either through :meth:`Network.run` (the
 ``traffic`` object's ``tick`` is called once per cycle) or by calling
 :meth:`Network.inject` directly (closed-loop CMP substrate).
+
+Active-set stepping
+-------------------
+
+By default the network runs in *active-set* mode: routers, NICs and links
+register into per-phase active sets when they gain work (a staged arrival,
+a buffered flit, an in-flight credit, a queued packet, a scheduled
+ejection) and are deregistered once drained, so each cycle only touches
+components that can actually make progress. Members are visited in
+ascending component-id order — the same relative order as the exhaustive
+loops — so the two modes are cycle-for-cycle identical
+(``tests/network/test_active_set.py`` asserts this across topologies,
+router modes and traffic patterns).
+
+On top of the active sets, :meth:`run` and :meth:`drain` *fast-forward*
+across quiescent stretches: when no router or sender NIC can act on every
+cycle, the remaining work is purely time-scheduled (link arrivals, credit
+returns, ejection completions, trace injections), and the clock jumps
+straight to the earliest such event. Construct with ``active_set=False``
+to force the exhaustive reference loop.
 """
 
 from __future__ import annotations
 
+import math
 import random
 
 from ..metrics.stats import NetworkStats
@@ -37,7 +58,8 @@ class Network:
                  routing: RoutingAlgorithm | str = "xy",
                  vc_policy: VCAllocationPolicy | str = "dynamic",
                  seed: int = 1, stats: NetworkStats | None = None,
-                 router_cls: type[Router] = Router):
+                 router_cls: type[Router] = Router,
+                 active_set: bool = True):
         self.topology = topology
         self.config = config
         if isinstance(routing, str):
@@ -49,6 +71,14 @@ class Network:
         self.stats = stats if stats is not None else NetworkStats()
         self.rng = random.Random(seed)
         self.cycle = 0
+        self._active = active_set
+        # Active sets, keyed by component id so members can be visited in
+        # the same relative order as the exhaustive loops.
+        self._work_routers: dict[int, Router] = {}
+        self._credit_routers: dict[int, Router] = {}
+        self._live_links: dict[int, Link] = {}
+        self._inject_nics: dict[int, Nic] = {}
+        self._eject_nics: dict[int, Nic] = {}
         self.routers = [
             router_cls(r, topology.num_inports(r), topology.num_outports(r),
                        config, routing, vc_policy, self.stats)
@@ -57,8 +87,16 @@ class Network:
         self.nics: list[Nic] = []
         self._build_channels()
         self._build_nics()
+        if active_set:
+            for router in self.routers:
+                router.bind_scheduler(self._work_routers,
+                                      self._credit_routers)
+            for nic in self.nics:
+                nic.bind_scheduler(self._inject_nics, self._eject_nics)
+            for link_id, link in enumerate(self.links):
+                link.bind(link_id, self._live_links)
 
-    # -- construction -------------------------------------------------------------
+    # -- construction ---------------------------------------------------------
 
     def _build_channels(self) -> None:
         cfg = self.config
@@ -85,27 +123,30 @@ class Network:
         cfg = self.config
         topo = self.topology
         for terminal in range(topo.num_terminals):
+            # The topology lookups validate their argument on every call;
+            # resolve each of them once per terminal.
+            router = self.routers[topo.terminal_router(terminal)]
+            eject_port = topo.ejection_port(terminal)
+            inject_port = topo.injection_port(terminal)
             nic = Nic(terminal, cfg, self.routing, self.vc_policy,
                       self.stats, random.Random(self.rng.getrandbits(32)))
-            router = self.routers[topo.terminal_router(terminal)]
             # Ejection: router output port -> NIC.
             eject_ep = OutEndpoint(-1, terminal, 1, cfg.num_vcs,
                                    cfg.eject_buffer_depth)
-            eject_out = OutputPort(topo.ejection_port(terminal), [eject_ep],
+            eject_out = OutputPort(eject_port, [eject_ep],
                                    sink=nic, is_ejection=True)
-            router.attach_output(topo.ejection_port(terminal), eject_out)
+            router.attach_output(eject_port, eject_out)
             nic.eject_endpoint = eject_ep
             # Injection: NIC -> router local input port.
             inject_link = Link()
             self.links.append(inject_link)
             nic.inject_link = inject_link
             nic.inject_endpoint = OutEndpoint(
-                router.router_id, topo.injection_port(terminal), 1, 1, 1)
-            router.in_ports[topo.injection_port(terminal)].upstream = (
-                nic.inject_state)
+                router.router_id, inject_port, 1, 1, 1)
+            router.in_ports[inject_port].upstream = nic.inject_state
             self.nics.append(nic)
 
-    # -- driving --------------------------------------------------------------------
+    # -- driving --------------------------------------------------------------
 
     def inject(self, packet: Packet) -> None:
         """Hand a packet to its source NIC."""
@@ -116,6 +157,13 @@ class Network:
 
     def step(self) -> None:
         """Advance the whole network by one cycle."""
+        if self._active:
+            self._step_active()
+        else:
+            self._step_exhaustive()
+
+    def _step_exhaustive(self) -> None:
+        """Reference loop: touch every component every cycle."""
         cycle = self.cycle
         routers = self.routers
         for router in routers:
@@ -131,36 +179,175 @@ class Network:
             nic.tick_inject(cycle)
         self.cycle = cycle + 1
 
+    def _step_active(self) -> None:
+        """Active-set loop: touch only components that registered work.
+
+        Each phase snapshots its set in ascending id order (matching the
+        exhaustive iteration order) and deregisters members that drained.
+        Registrations made by a phase for a *later* phase of the same cycle
+        (a link ticking flits into a router) are picked up because each
+        phase snapshots at its own start.
+        """
+        cycle = self.cycle
+        routers = self.routers
+        nics = self.nics
+        credit_set = self._credit_routers
+        if credit_set:
+            for rid in sorted(credit_set):
+                router = routers[rid]
+                router.deliver_credits(cycle)
+                if router._pending_credits == 0:
+                    del credit_set[rid]
+        eject_set = self._eject_nics
+        if eject_set:
+            for nid in sorted(eject_set):
+                nic = nics[nid]
+                nic.tick_eject(cycle, self)
+                if not nic.eject_active:
+                    del eject_set[nid]
+        live_links = self._live_links
+        if live_links:
+            links = self.links
+            for lid in sorted(live_links):
+                link = links[lid]
+                link.tick(cycle, routers)
+                if not link.in_flight:
+                    del live_links[lid]
+        work_set = self._work_routers
+        if work_set:
+            for rid in sorted(work_set):
+                router = routers[rid]
+                router.step(cycle)
+                if not router.has_work:
+                    del work_set[rid]
+        inject_set = self._inject_nics
+        if inject_set:
+            for nid in sorted(inject_set):
+                nic = nics[nid]
+                nic.tick_inject(cycle)
+                if not nic.inject_active:
+                    del inject_set[nid]
+        self.cycle = cycle + 1
+
+    # -- quiescence fast-forward ----------------------------------------------
+
+    def _next_event_cycle(self) -> float:
+        """Earliest cycle at which any time-scheduled event fires."""
+        nxt = math.inf
+        links = self.links
+        for lid in self._live_links:
+            cycle = links[lid].next_arrival()
+            if cycle < nxt:
+                nxt = cycle
+        routers = self.routers
+        for rid in self._credit_routers:
+            cycle = routers[rid].next_credit_cycle()
+            if cycle < nxt:
+                nxt = cycle
+        nics = self.nics
+        for nid in self._eject_nics:
+            cycle = nics[nid].next_eject_cycle()
+            if cycle < nxt:
+                nxt = cycle
+        return nxt
+
+    def _try_fast_forward(self, bound: int,
+                          traffic_next: int | None) -> None:
+        """Jump the clock to the next scheduled event, capped at ``bound``.
+
+        Legal only when no router and no sender NIC has per-cycle work —
+        everything left (link arrivals, credit returns, ejections, and the
+        caller-provided next traffic injection) fires at a known future
+        cycle, so the skipped cycles are provably no-ops.
+        """
+        if self._work_routers or self._inject_nics:
+            return
+        nxt = self._next_event_cycle()
+        if traffic_next is not None and traffic_next < nxt:
+            nxt = traffic_next
+        target = bound if nxt == math.inf else min(bound, int(nxt))
+        if target > self.cycle:
+            self.cycle = target
+
+    def fast_forward(self, bound: int,
+                     traffic_next: int | None = None) -> None:
+        """Skip to the next scheduled event if nothing acts per-cycle.
+
+        Public hook for external drive loops (trace replay); a no-op in
+        exhaustive mode or while any router or sender NIC has work.
+        ``bound`` caps the jump; ``traffic_next`` is the next cycle the
+        external driver needs control at.
+        """
+        if self._active:
+            self._try_fast_forward(bound, traffic_next)
+
     def run(self, cycles: int, traffic=None) -> NetworkStats:
-        """Run for ``cycles`` cycles, ticking ``traffic`` once per cycle."""
-        for _ in range(cycles):
+        """Run for ``cycles`` cycles, ticking ``traffic`` once per cycle.
+
+        In active-set mode quiescent stretches are fast-forwarded. With a
+        ``traffic`` object this is only done if it exposes
+        ``next_injection_cycle(cycle)`` (see ``TraceReplayTraffic``);
+        Bernoulli sources draw randomness every cycle and are never
+        skipped.
+        """
+        end = self.cycle + cycles
+        fast = self._active
+        next_injection = (getattr(traffic, "next_injection_cycle", None)
+                          if traffic is not None else None)
+        while self.cycle < end:
             if traffic is not None:
                 traffic.tick(self, self.cycle)
             self.step()
+            if fast:
+                if traffic is None:
+                    self._try_fast_forward(end, None)
+                elif next_injection is not None:
+                    self._try_fast_forward(end, next_injection(self.cycle))
         return self.stats
 
     def drain(self, max_cycles: int = 1_000_000) -> NetworkStats:
         """Run without new traffic until every packet has been delivered."""
         deadline = self.cycle + max_cycles
+        fast = self._active
         while not self.quiescent():
             if self.cycle >= deadline:
                 raise RuntimeError(
                     f"network failed to drain within {max_cycles} cycles "
                     f"({self.in_flight_packets()} packets left)")
             self.step()
+            if fast and not self.quiescent():
+                self._try_fast_forward(deadline, None)
         return self.stats
 
-    # -- queries ---------------------------------------------------------------------
+    # -- queries --------------------------------------------------------------
 
     def in_flight_packets(self) -> int:
-        queued = sum(len(nic.queue) for nic in self.nics)
+        queued = 0
+        if self._active:
+            nics = self.nics
+            for nid in self._inject_nics:
+                queued += len(nics[nid].queue)
+        else:
+            for nic in self.nics:
+                queued += len(nic.queue)
         return queued + (self.stats.injected_packets
                          - self.stats.ejected_packets)
 
     def quiescent(self) -> bool:
+        stats = self.stats
+        if self._active:
+            # Sender-side activity and ejection heaps map directly onto the
+            # active sets; pending credit returns never block quiescence
+            # (matching the exhaustive definition below).
+            if self._inject_nics:
+                return False
+            nics = self.nics
+            if any(nics[nid]._eject_heap for nid in self._eject_nics):
+                return False
+            return stats.injected_packets == stats.ejected_packets
         if any(not nic.idle for nic in self.nics):
             return False
-        return self.stats.injected_packets == self.stats.ejected_packets
+        return stats.injected_packets == stats.ejected_packets
 
     def check_invariants(self) -> None:
         for router in self.routers:
@@ -170,10 +357,12 @@ class Network:
 def build_network(topology: Topology, routing: str = "xy",
                   vc_policy: str = "dynamic",
                   config: NetworkConfig | None = None,
-                  seed: int = 1, **config_overrides) -> Network:
+                  seed: int = 1, active_set: bool = True,
+                  **config_overrides) -> Network:
     """Convenience constructor used by examples and the harness."""
     if config is None:
         config = NetworkConfig(**config_overrides)
     elif config_overrides:
         raise ValueError("pass either config or keyword overrides, not both")
-    return Network(topology, config, routing, vc_policy, seed=seed)
+    return Network(topology, config, routing, vc_policy, seed=seed,
+                   active_set=active_set)

@@ -59,7 +59,7 @@ class Trace:
         return Trace(self.num_terminals, self.benchmark,
                      sorted(self.records, key=lambda r: r.cycle))
 
-    # -- serialization -----------------------------------------------------------
+    # -- serialization --------------------------------------------------------
 
     def save(self, path) -> None:
         with open(path, "w", encoding="utf-8") as fh:
@@ -106,6 +106,20 @@ class TraceReplayTraffic:
     @property
     def exhausted(self) -> bool:
         return self._round >= self.repeat
+
+    def next_injection_cycle(self, cycle: int) -> int | None:
+        """Next cycle at which ``tick`` may inject (fast-forward protocol).
+
+        Returns ``None`` once the trace is exhausted. Always at least
+        ``cycle + 1``: callers invoke this after ticking cycle ``cycle``,
+        when every record due so far has already been injected.
+        """
+        if self.exhausted:
+            return None
+        records = self.trace.records
+        if self._idx >= len(records):
+            return cycle + 1  # rollover resolves on the next tick
+        return max(cycle + 1, records[self._idx].cycle + self._offset)
 
     def tick(self, network, cycle: int) -> None:
         records = self.trace.records

@@ -3,8 +3,8 @@
 import random
 from collections import Counter
 
-from repro.cmp.address_stream import (ACCESSES_PER_BLOCK, PRIVATE_STRIDE,
-                                      AddressStream, rng_geometric)
+from repro.cmp.address_stream import (PRIVATE_STRIDE, AddressStream,
+                                      rng_geometric)
 from repro.traffic.benchmarks import get_profile
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.network.buffers import BufferOverflowError, FlitBuffer
-from repro.network.flit import FlitType, Packet
+from repro.network.flit import Packet
 
 
 def flits(n):

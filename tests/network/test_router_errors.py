@@ -3,10 +3,10 @@
 import pytest
 
 from repro.network.config import NetworkConfig
-from repro.network.flit import FlitType, Packet
+from repro.network.flit import Packet
 from repro.network.router import ProtocolError, Router
 from repro.network.simulator import Network
-from repro.topology.base import Channel, Endpoint
+from repro.topology.base import Channel
 from repro.topology.mesh import Mesh
 
 

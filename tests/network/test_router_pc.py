@@ -1,8 +1,6 @@
 """Behavioural tests for pseudo-circuit creation, reuse and termination
 inside the router (paper Sections III-IV)."""
 
-import pytest
-
 from repro.core.pseudo_circuit import Termination
 from repro.network.config import (PSEUDO, PSEUDO_S, PSEUDO_SB,
                                   NetworkConfig)
