@@ -138,6 +138,9 @@ def main(argv=None) -> int:
                          help="timing repetitions, best-of (default 3)")
     bench_p.add_argument("--out", default="BENCH_core.json",
                          help="output path ('-' to skip writing)")
+    bench_p.add_argument("--profile", action="store_true",
+                         help="also run one repeat under cProfile and "
+                              "print the top-20 cumulative entries")
 
     args = parser.parse_args(argv)
     if args.command in ALL_FIGURES:
@@ -152,7 +155,8 @@ def main(argv=None) -> int:
             kwargs["cycles"] = args.cycles
         if args.repeats is not None:
             kwargs["repeats"] = args.repeats
-        run_bench(out_path=None if args.out == "-" else args.out, **kwargs)
+        run_bench(out_path=None if args.out == "-" else args.out,
+                  profile=args.profile, **kwargs)
         return 0
     return _cmd_sweep(args)
 

@@ -2,23 +2,35 @@
 
 ``run_bench`` times the canonical simulator workloads — an 8x8 mesh under
 uniform-random traffic at a low-load and a near-saturation point, for the
-baseline router and the full Pseudo+S+B scheme — in both the shipped
-active-set stepping mode and the exhaustive reference mode, verifies that
-the two modes produced identical ``NetworkStats``, and writes the timings
-to ``BENCH_core.json``. Re-running ``python -m repro bench`` after a change
-(and diffing the JSON) is how this repo tracks simulator performance over
-time.
+baseline router and the full Pseudo+S+B scheme — in both the shipped fast
+mode (active-set stepping + compiled routing tables + bitmask allocator)
+and the exhaustive reference mode (``active_set=False`` with the dynamic
+``route()`` path), verifies that the two modes produced identical
+``NetworkStats``, and writes the timings to ``BENCH_core.json``. Re-running
+``python -m repro bench`` after a change (and diffing the JSON) is how this
+repo tracks simulator performance over time.
 
 Wall-clock numbers are best-of-``repeats`` to suppress scheduler noise.
-``PRE_CHANGE_WALL_S`` preserves the measurements taken against the
-pre-active-set core when this benchmark was introduced, so the file always
-carries the trajectory baseline with it.
+Each optimization wave keeps the wall-clock of the wave before it as a
+fixed column (``pre_change_wall_s`` for the pre-active-set core,
+``pr1_wall_s`` for the active-set core of PR 1), so the file always carries
+the whole perf trajectory with it. The aggregate speedups weight the
+saturation workloads heavier (``weight`` column) because reproduction
+wall-clock is dominated by the high-load end of the latency-throughput
+sweeps.
+
+``--profile`` wraps one extra repeat of every workload in ``cProfile`` and
+prints the top cumulative-time entries, so perf work can cite a profile
+instead of guessing.
 """
 
 from __future__ import annotations
 
+import cProfile
 import json
+import math
 import platform
+import pstats
 import sys
 import time
 
@@ -27,14 +39,15 @@ from ..network.simulator import build_network
 from ..topology import make_topology
 from ..traffic.synthetic import SyntheticTraffic
 
-#: (name, scheme, injection rate in flits/terminal/cycle). 0.02 sits in the
-#: paper's low-load latency region; 0.30 is just past saturation for the
-#: baseline 8x8 mesh with XY routing.
+#: (name, scheme, injection rate in flits/terminal/cycle, weight). 0.02 sits
+#: in the paper's low-load latency region; 0.30 is just past saturation for
+#: the baseline 8x8 mesh with XY routing. Weights skew the aggregate
+#: speedups toward the saturation workloads that dominate sweep wall-clock.
 CANONICAL_WORKLOADS = (
-    ("mesh8x8-uniform-low-baseline", BASELINE, 0.02),
-    ("mesh8x8-uniform-low-pseudo_sb", PSEUDO_SB, 0.02),
-    ("mesh8x8-uniform-sat-baseline", BASELINE, 0.30),
-    ("mesh8x8-uniform-sat-pseudo_sb", PSEUDO_SB, 0.30),
+    ("mesh8x8-uniform-low-baseline", BASELINE, 0.02, 1),
+    ("mesh8x8-uniform-low-pseudo_sb", PSEUDO_SB, 0.02, 1),
+    ("mesh8x8-uniform-sat-baseline", BASELINE, 0.30, 3),
+    ("mesh8x8-uniform-sat-pseudo_sb", PSEUDO_SB, 0.30, 3),
 )
 
 #: Wall-clock of the pre-active-set core (commit b4c3d8c) on the canonical
@@ -49,16 +62,32 @@ PRE_CHANGE_WALL_S = {
     "mesh8x8-uniform-sat-pseudo_sb": 5.694,
 }
 
+#: Wall-clock of the PR 1 active-set core (commit 78707cf), before compiled
+#: routing tables and the bitmask allocator — the second fixed point of the
+#: trajectory, same measurement conditions as ``PRE_CHANGE_WALL_S``.
+PR1_WALL_S = {
+    "mesh8x8-uniform-low-baseline": 0.165,
+    "mesh8x8-uniform-low-pseudo_sb": 0.2175,
+    "mesh8x8-uniform-sat-baseline": 2.3686,
+    "mesh8x8-uniform-sat-pseudo_sb": 3.2235,
+}
+
 DEFAULT_CYCLES = 1500
 DEFAULT_REPEATS = 3
 _SEED = 7
 
 
 def _simulate(scheme, rate: float, cycles: int, active: bool):
-    """Run one canonical workload once; returns (stats dict, wall seconds)."""
+    """Run one canonical workload once; returns (stats dict, wall seconds).
+
+    ``active=True`` is the shipped fast path (active sets + compiled
+    routing); ``active=False`` is the exhaustive reference with dynamic
+    routing, so the cross-check covers every hot-path optimization at once.
+    """
     config = NetworkConfig(num_vcs=4, buffer_depth=4, pseudo=scheme)
     topo = make_topology("mesh", 8, 8, 1)
-    net = build_network(topo, config=config, seed=_SEED, active_set=active)
+    net = build_network(topo, config=config, seed=_SEED, active_set=active,
+                        compiled_routing=active)
     traffic = SyntheticTraffic("uniform", topo.num_terminals, rate, 5,
                                seed=_SEED)
     net.stats.warmup_cycles = cycles // 5
@@ -66,8 +95,7 @@ def _simulate(scheme, rate: float, cycles: int, active: bool):
     net.run(cycles, traffic)
     net.drain(max_cycles=500_000)
     wall = time.perf_counter() - start
-    fingerprint = dict(vars(net.stats))
-    fingerprint.pop("_lat_samples", None)
+    fingerprint = net.stats.fingerprint()
     fingerprint["final_cycle"] = net.cycle
     return fingerprint, wall
 
@@ -84,7 +112,7 @@ def time_workload(scheme, rate: float, cycles: int = DEFAULT_CYCLES,
         reference_walls.append(wall)
     if active_stats != reference_stats:
         raise AssertionError(
-            f"active-set stats diverged from exhaustive stepping for "
+            f"fast-path stats diverged from the exhaustive reference for "
             f"{scheme.label}@{rate}")
     wall_s = min(active_walls)
     reference_wall_s = min(reference_walls)
@@ -100,25 +128,72 @@ def time_workload(scheme, rate: float, cycles: int = DEFAULT_CYCLES,
     }
 
 
+def _weighted_geomean_speedup(workloads: list[dict], baseline_key: str,
+                              weights: dict[str, int]) -> float | None:
+    """Weighted geometric mean of per-workload speedups vs a baseline."""
+    log_sum = 0.0
+    weight_sum = 0
+    for row in workloads:
+        base = row.get(baseline_key)
+        if base is None:
+            return None
+        weight = weights[row["name"]]
+        log_sum += weight * math.log(base / row["wall_s"])
+        weight_sum += weight
+    if not weight_sum:
+        return None
+    return round(math.exp(log_sum / weight_sum), 3)
+
+
+def profile_workloads(cycles: int = DEFAULT_CYCLES, top: int = 20) -> None:
+    """Run one repeat of every canonical workload under cProfile and print
+    the ``top`` cumulative-time entries."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _name, scheme, rate, _weight in CANONICAL_WORKLOADS:
+        _simulate(scheme, rate, cycles, active=True)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    stats.print_stats(top)
+
+
 def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
               out_path: str | None = "BENCH_core.json",
-              show: bool = True) -> dict:
+              show: bool = True, profile: bool = False) -> dict:
     """Time every canonical workload; optionally write ``BENCH_core.json``."""
     workloads = []
-    for name, scheme, rate in CANONICAL_WORKLOADS:
-        row = {"name": name,
+    weights = {name: weight for name, _, _, weight in CANONICAL_WORKLOADS}
+    at_default_scale = cycles == DEFAULT_CYCLES
+    for name, scheme, rate, weight in CANONICAL_WORKLOADS:
+        row = {"name": name, "weight": weight,
                **time_workload(scheme, rate, cycles, repeats)}
-        pre = PRE_CHANGE_WALL_S.get(name)
-        if pre is not None and cycles == DEFAULT_CYCLES:
-            row["pre_change_wall_s"] = pre
-            row["speedup_vs_pre_change"] = round(pre / row["wall_s"], 3)
+        if at_default_scale:
+            row["pre_change_wall_s"] = PRE_CHANGE_WALL_S[name]
+            row["speedup_vs_pre_change"] = round(
+                PRE_CHANGE_WALL_S[name] / row["wall_s"], 3)
+            row["pr1_wall_s"] = PR1_WALL_S[name]
+            row["speedup_vs_pr1"] = round(PR1_WALL_S[name] / row["wall_s"], 3)
         workloads.append(row)
         if show:
-            speedup = row.get("speedup_vs_pre_change")
-            trail = (f"  {speedup}x vs pre-change"
-                     if speedup is not None else "")
+            speedup = row.get("speedup_vs_pr1")
+            trail = f"  {speedup}x vs PR1" if speedup is not None else ""
             print(f"{name:32s} {row['wall_s']:7.3f}s  "
                   f"(reference {row['reference_wall_s']:7.3f}s){trail}")
+    summary = {}
+    if at_default_scale:
+        summary = {
+            "weighted_speedup_vs_pr1": _weighted_geomean_speedup(
+                workloads, "pr1_wall_s", weights),
+            "weighted_speedup_vs_pre_change": _weighted_geomean_speedup(
+                workloads, "pre_change_wall_s", weights),
+            "weight_note": ("geometric means weighted per workload "
+                            "(saturation x3): sweep wall-clock is "
+                            "saturation-dominated."),
+        }
+        if show and summary["weighted_speedup_vs_pr1"] is not None:
+            print(f"{'weighted (sat x3) vs PR1':32s} "
+                  f"{summary['weighted_speedup_vs_pr1']:7.3f}x")
     report = {
         "meta": {
             "generated_unix": int(time.time()),
@@ -129,10 +204,12 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
             "seed": _SEED,
             "pre_change_note": (
                 "pre_change_wall_s columns replay the measurements taken "
-                "against the pre-active-set core (commit b4c3d8c) with "
-                "this driver at default scale; comparable only on similar "
-                "hardware."),
+                "against the pre-active-set core (commit b4c3d8c), "
+                "pr1_wall_s those against the PR 1 active-set core (commit "
+                "78707cf), with this driver at default scale; comparable "
+                "only on similar hardware."),
         },
+        "summary": summary,
         "workloads": workloads,
     }
     if out_path is not None:
@@ -141,4 +218,8 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
             fh.write("\n")
         if show:
             print(f"wrote {out_path}")
+    if profile:
+        if show:
+            print("\nprofiling one repeat of every workload (fast path):")
+        profile_workloads(cycles)
     return report

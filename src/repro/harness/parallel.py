@@ -42,9 +42,40 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+class SweepPointError(RuntimeError):
+    """One point of a sweep failed; names the failing point's parameters.
+
+    A bare exception out of a worker process loses all context about
+    *which* of the fanned-out simulations died, so every point — worker or
+    inline — is wrapped to attach its ``ExperimentConfig``. The original
+    exception stays chained as ``__cause__`` (inline runs) and summarized
+    in ``cause`` (which also survives pickling back from a worker).
+    """
+
+    def __init__(self, point: str, cause: str):
+        super().__init__(f"sweep point {point} failed: {cause}")
+        self.point = point
+        self.cause = cause
+
+    def __reduce__(self):
+        # Default exception pickling would re-call __init__ with the
+        # formatted message as ``point``; rebuild from the raw fields.
+        return (SweepPointError, (self.point, self.cause))
+
+
+def _run_point(cfg: ExperimentConfig) -> Result:
+    """Simulate one point, labelling any failure with the point's config."""
+    try:
+        return run_experiment(cfg)
+    except Exception as exc:
+        raise SweepPointError(
+            f"{cfg.label} ({cfg!r})", f"{type(exc).__name__}: {exc}"
+        ) from exc
+
+
 def _run_chunk(configs: Sequence[ExperimentConfig]) -> list[Result]:
     """Worker entry point: simulate one chunk of configs, in order."""
-    return [run_experiment(cfg) for cfg in configs]
+    return [_run_point(cfg) for cfg in configs]
 
 
 def run_experiments(configs: Iterable[ExperimentConfig],
@@ -73,7 +104,7 @@ def run_experiments(configs: Iterable[ExperimentConfig],
         max_workers = default_workers()
     if max_workers <= 1 or len(todo) == 1:
         for idx, cfg in todo:
-            results[idx] = run_experiment(cfg)
+            results[idx] = _run_point(cfg)
         return results
     if chunk_size is None:
         # ~4 chunks per worker balances load without excessive pickling.

@@ -1,9 +1,12 @@
 """Statistics collected by the network simulator.
 
 One ``NetworkStats`` instance is shared by every router, link and NIC of a
-simulation. Counters are plain integer attributes (hot path); derived
-metrics — average latency, pseudo-circuit reusability, temporal locality,
-energy — are computed on demand.
+simulation. Counters are plain integer attributes on a ``__slots__`` layout
+(hot path: no per-instance dict); derived metrics — average latency,
+pseudo-circuit reusability, temporal locality, energy — are computed on
+demand. Per-packet latencies are kept as an exact histogram (latency ->
+count) rather than an unbounded sample list, which bounds memory at long
+simulations while reproducing the same averages and percentiles.
 """
 
 from __future__ import annotations
@@ -15,12 +18,28 @@ from ..network.flit import Packet
 
 
 class NetworkStats:
-    """Event counters plus per-packet latency records."""
+    """Event counters plus an exact per-packet latency histogram."""
+
+    __slots__ = (
+        "warmup_cycles",
+        # Packet accounting.
+        "injected_packets", "ejected_packets",
+        "injected_flits", "ejected_flits",
+        "measured_packets", "total_latency", "total_network_latency",
+        "total_hops", "latency_histogram",
+        # Per-flit-hop events (energy model inputs).
+        "flit_hops", "buffer_writes", "buffer_reads",
+        "sa_arbitrations", "va_allocations",
+        # Pseudo-circuit events.
+        "sa_bypass_flits", "buf_bypass_flits",
+        "pc_established", "pc_restored", "pc_terminations",
+        # Temporal locality (Fig. 1).
+        "e2e_packets", "e2e_repeats", "xbar_flits", "xbar_repeats",
+    )
 
     def __init__(self, warmup_cycles: int = 0):
         #: Packets ejected before this cycle are excluded from latency stats.
         self.warmup_cycles = warmup_cycles
-        # Packet accounting.
         self.injected_packets = 0
         self.ejected_packets = 0
         self.injected_flits = 0
@@ -29,20 +48,18 @@ class NetworkStats:
         self.total_latency = 0
         self.total_network_latency = 0
         self.total_hops = 0
-        self.latency_samples: list[int] = []
-        # Per-flit-hop events (energy model inputs).
+        #: Exact latency distribution: latency in cycles -> packet count.
+        self.latency_histogram: dict[int, int] = {}
         self.flit_hops = 0          # crossbar traversals
         self.buffer_writes = 0
         self.buffer_reads = 0
         self.sa_arbitrations = 0    # switch-arbiter request-grant events
         self.va_allocations = 0
-        # Pseudo-circuit events.
         self.sa_bypass_flits = 0    # flits that skipped SA via a circuit
         self.buf_bypass_flits = 0   # subset that also skipped the buffer
         self.pc_established = 0
         self.pc_restored = 0        # speculative restorations
         self.pc_terminations: Counter = Counter()
-        # Temporal locality (Fig. 1).
         self.e2e_packets = 0
         self.e2e_repeats = 0
         self.xbar_flits = 0
@@ -59,13 +76,53 @@ class NetworkStats:
         self.ejected_flits += packet.size
         if packet.eject_cycle >= self.warmup_cycles:
             self.measured_packets += 1
-            self.total_latency += packet.latency
+            latency = packet.latency
+            self.total_latency += latency
             self.total_network_latency += packet.network_latency
             self.total_hops += packet.hops
-            self.latency_samples.append(packet.latency)
+            hist = self.latency_histogram
+            hist[latency] = hist.get(latency, 0) + 1
+
+    def record_hop(self, via: str, read: bool, xbar_repeat: bool,
+                   e2e_repeat: bool | None) -> None:
+        """Fused per-traversal recording: one call per crossbar hop.
+
+        ``via`` is the traversal kind ('sa' | 'pc' | 'buf'), ``read`` whether
+        the flit came out of a buffer (write-through bypasses skip the read),
+        ``xbar_repeat`` whether the crossbar connection repeated, and
+        ``e2e_repeat`` the head-flit source/destination repeat flag (None for
+        body/tail flits, which carry no end-to-end accounting).
+        """
+        self.flit_hops += 1
+        self.xbar_flits += 1
+        if read:
+            self.buffer_reads += 1
+        if xbar_repeat:
+            self.xbar_repeats += 1
+        if via == "sa":
+            self.sa_arbitrations += 1
+        else:
+            self.sa_bypass_flits += 1
+            if via == "buf":
+                self.buf_bypass_flits += 1
+        if e2e_repeat is not None:
+            self.e2e_packets += 1
+            if e2e_repeat:
+                self.e2e_repeats += 1
 
     def record_termination(self, reason: Termination) -> None:
         self.pc_terminations[reason] += 1
+
+    # -- identity -------------------------------------------------------------
+
+    def fingerprint(self) -> dict:
+        """Every observable counter as a flat dict (differential testing)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, NetworkStats):
+            return NotImplemented
+        return self.fingerprint() == other.fingerprint()
 
     # -- derived metrics ------------------------------------------------------
 
@@ -117,11 +174,23 @@ class NetworkStats:
         return self.xbar_repeats / self.xbar_flits
 
     def latency_percentile(self, pct: float) -> float:
-        if not self.latency_samples:
+        """Percentile over the recorded latency distribution.
+
+        Walks the histogram in latency order, reproducing exactly the value
+        ``sorted(samples)[round(pct/100 * (n-1))]`` the pre-histogram
+        implementation returned.
+        """
+        hist = self.latency_histogram
+        if not hist:
             return float("nan")
-        data = sorted(self.latency_samples)
-        idx = min(len(data) - 1, max(0, round(pct / 100 * (len(data) - 1))))
-        return float(data[idx])
+        total = sum(hist.values())
+        idx = min(total - 1, max(0, round(pct / 100 * (total - 1))))
+        seen = 0
+        for latency in sorted(hist):
+            seen += hist[latency]
+            if idx < seen:
+                return float(latency)
+        raise AssertionError("histogram counts inconsistent with total")
 
     def summary(self) -> dict:
         """Flat dict for reports and EXPERIMENTS.md tables."""

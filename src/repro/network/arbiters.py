@@ -6,6 +6,12 @@ starvation-free under persistent requests. ``MatrixArbiter`` implements a
 least-recently-served policy with a triangular state matrix; it is provided
 as an alternative and exercised by tests, the allocator defaults to
 round-robin as in most NoC router implementations.
+
+Both arbiters grant from an integer *request bitmask* (bit ``i`` set means
+requester ``i`` wants the resource); the router's allocator collects
+requests as masks so no per-cycle candidate lists are built. ``grant``
+remains as an iterable-of-indices convenience wrapper over ``grant_mask``
+with identical rotation state, so either entry point can be mixed freely.
 """
 
 from __future__ import annotations
@@ -13,31 +19,55 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 
+def _to_mask(requests: Iterable[int], size: int) -> int:
+    mask = 0
+    for r in requests:
+        if not 0 <= r < size:
+            raise ValueError(
+                f"request {r} out of range for arbiter size {size}")
+        mask |= 1 << r
+    return mask
+
+
 class RoundRobinArbiter:
     """Rotating-priority arbiter over ``size`` requesters."""
 
-    __slots__ = ("size", "_next")
+    __slots__ = ("size", "_next", "_full")
 
     def __init__(self, size: int):
         if size < 1:
             raise ValueError("arbiter size must be >= 1")
         self.size = size
         self._next = 0
+        self._full = (1 << size) - 1
 
-    def grant(self, requests: Iterable[int]) -> int | None:
-        """Grant one of ``requests`` (indices); returns None if empty.
+    def grant_mask(self, mask: int) -> int | None:
+        """Grant one set bit of ``mask``; returns None when empty.
 
         Priority rotates so the granted requester becomes lowest priority.
+        The highest-priority requester is found by rotating the mask so the
+        priority position lands on bit 0 and isolating the lowest set bit
+        (``rot & -rot``) — no per-requester scan.
         """
-        req = set(requests)
-        if not req:
+        if not mask:
             return None
-        for offset in range(self.size):
-            cand = (self._next + offset) % self.size
-            if cand in req:
-                self._next = (cand + 1) % self.size
-                return cand
-        raise ValueError(f"requests {req} out of range for size {self.size}")
+        if mask & ~self._full:
+            raise ValueError(
+                f"request mask {mask:#x} out of range for size {self.size}")
+        size = self.size
+        n = self._next
+        rot = ((mask >> n) | (mask << (size - n))) & self._full
+        low = rot & -rot
+        cand = low.bit_length() - 1 + n
+        if cand >= size:
+            cand -= size
+        nxt = cand + 1
+        self._next = nxt if nxt < size else 0
+        return cand
+
+    def grant(self, requests: Iterable[int]) -> int | None:
+        """Grant one of ``requests`` (indices); returns None if empty."""
+        return self.grant_mask(_to_mask(requests, self.size))
 
 
 class MatrixArbiter:
@@ -55,13 +85,18 @@ class MatrixArbiter:
         self.size = size
         self._prio = [[i < j for j in range(size)] for i in range(size)]
 
-    def grant(self, requests: Iterable[int]) -> int | None:
-        req = [r for r in set(requests)]
-        if not req:
+    def grant_mask(self, mask: int) -> int | None:
+        if not mask:
             return None
-        for r in req:
-            if not 0 <= r < self.size:
-                raise ValueError(f"request {r} out of range")
+        if mask < 0 or mask >> self.size:
+            raise ValueError(
+                f"request mask {mask:#x} out of range for size {self.size}")
+        req = []
+        m = mask
+        while m:
+            low = m & -m
+            m ^= low
+            req.append(low.bit_length() - 1)
         for cand in req:
             if all(self._prio[cand][other]
                    for other in req if other != cand):
@@ -73,6 +108,9 @@ class MatrixArbiter:
         # The priority matrix is a total order over any subset, so one
         # candidate always dominates; reaching here means corrupted state.
         raise AssertionError("matrix arbiter found no dominating requester")
+
+    def grant(self, requests: Iterable[int]) -> int | None:
+        return self.grant_mask(_to_mask(requests, self.size))
 
 
 def make_arbiter(kind: str, size: int):

@@ -46,20 +46,23 @@ class FlitBuffer:
         return not self._q
 
     def append(self, flit: Flit) -> None:
-        if self.is_full:
+        q = self._q
+        if len(q) >= self.capacity:
             raise BufferOverflowError(
                 f"buffer write to full {self.capacity}-flit buffer: {flit}")
-        self._q.append(flit)
+        q.append(flit)
 
     def front(self) -> Flit:
-        if not self._q:
+        q = self._q
+        if not q:
             raise IndexError("front() on empty flit buffer")
-        return self._q[0]
+        return q[0]
 
     def pop(self) -> Flit:
-        if not self._q:
+        q = self._q
+        if not q:
             raise IndexError("pop() on empty flit buffer")
-        return self._q.popleft()
+        return q.popleft()
 
     def __iter__(self):
         return iter(self._q)

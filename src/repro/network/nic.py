@@ -13,8 +13,6 @@ packets while ``mshrs`` of its packets are still in flight, modeling the
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import random
 from collections import deque
 
@@ -25,8 +23,6 @@ from .config import NetworkConfig
 from .flit import Flit, Packet
 from .link import Link
 from .ports import OutVC
-
-_seq = itertools.count()
 
 
 class InjectEndpoint:
@@ -49,8 +45,8 @@ class Nic:
                  "rng", "queue", "inject_state", "_sending", "_send_rr",
                  "outstanding", "inject_link", "inject_endpoint",
                  "eject_endpoint", "_eject_credit_due", "_rx_flits",
-                 "_eject_heap", "on_packet", "ejected", "keep_ejected",
-                 "_inject_set", "_eject_set")
+                 "_eject_q", "on_packet", "ejected", "keep_ejected",
+                 "_inject_set", "_eject_set", "_vc_ranges")
 
     def __init__(self, terminal: int, config: NetworkConfig,
                  routing: RoutingAlgorithm, vc_policy: VCAllocationPolicy,
@@ -76,9 +72,11 @@ class Nic:
         self.inject_endpoint = None
         self.eject_endpoint = None
         self._eject_credit_due: deque[tuple[int, int]] = deque()
-        # Reassembly and delivery upcall (used by the CMP substrate).
+        # Reassembly and delivery upcall (used by the CMP substrate). The
+        # ejection queue is a FIFO: its single sender (the router's
+        # ejection output port) emits non-decreasing arrival cycles.
         self._rx_flits: dict[int, int] = {}
-        self._eject_heap: list[tuple[int, int, Flit]] = []
+        self._eject_q: deque[tuple[int, Flit]] = deque()
         self.on_packet = None  # callback(packet, cycle)
         self.ejected: list[Packet] = []
         self.keep_ejected = False
@@ -86,11 +84,18 @@ class Nic:
         # Network when it runs in active-set mode; None when standalone.
         self._inject_set: dict | None = None
         self._eject_set: dict | None = None
+        # Per-route-choice VC ranges from the compiled routing table (bound
+        # by the Network for tabulable algorithms); None -> dynamic path.
+        self._vc_ranges = None
 
     def bind_scheduler(self, inject_set: dict, eject_set: dict) -> None:
         """Attach this NIC to the network's active-set registries."""
         self._inject_set = inject_set
         self._eject_set = eject_set
+
+    def bind_vc_ranges(self, vc_ranges) -> None:
+        """Attach compiled per-choice VC ranges (see ``routing.compiled``)."""
+        self._vc_ranges = vc_ranges
 
     # -- sending --------------------------------------------------------------
 
@@ -144,7 +149,11 @@ class Nic:
         if 0 < self.config.mshrs <= self.outstanding:
             return  # self-throttling: all MSHRs busy
         packet = self.queue[0]
-        lo, hi = self.routing.vc_limits(packet, self.config.num_vcs)
+        vc_ranges = self._vc_ranges
+        if vc_ranges is not None:
+            lo, hi = vc_ranges[packet.route_choice]
+        else:
+            lo, hi = self.routing.vc_limits(packet, self.config.num_vcs)
         vc = self.vc_policy.allocate(self.inject_state.ovcs, packet, lo, hi)
         if vc is None:
             return
@@ -162,7 +171,12 @@ class Nic:
         eject_set = self._eject_set
         if eject_set is not None:
             eject_set[self.terminal] = self
-        heapq.heappush(self._eject_heap, (cycle, next(_seq), flit))
+        q = self._eject_q
+        if q and cycle < q[-1][0]:
+            raise RuntimeError(
+                f"NIC {self.terminal}: non-monotonic ejection delivery "
+                f"({cycle} after {q[-1][0]})")
+        q.append((cycle, flit))
 
     def tick_eject(self, cycle: int, network) -> None:
         # Return credits whose delay has elapsed.
@@ -170,9 +184,9 @@ class Nic:
         while due and due[0][0] <= cycle:
             _, vc = due.popleft()
             self.eject_endpoint.restore_credit(vc)
-        heap = self._eject_heap
-        while heap and heap[0][0] <= cycle:
-            _, _, flit = heapq.heappop(heap)
+        q = self._eject_q
+        while q and q[0][0] <= cycle:
+            _, flit = q.popleft()
             # The NIC drains instantly; the buffer slot frees right away.
             due.append((cycle + self.config.credit_delay, flit.vc))
             packet = flit.packet
@@ -198,7 +212,7 @@ class Nic:
     @property
     def idle(self) -> bool:
         return (not self.queue and not self._sending
-                and not self._eject_heap)
+                and not self._eject_q)
 
     @property
     def inject_active(self) -> bool:
@@ -208,15 +222,15 @@ class Nic:
     @property
     def eject_active(self) -> bool:
         """True while tick_eject has queued flits or credit returns."""
-        return bool(self._eject_heap) or bool(self._eject_credit_due)
+        return bool(self._eject_q) or bool(self._eject_credit_due)
 
     def next_eject_cycle(self) -> int:
         """Earliest cycle at which tick_eject has scheduled work."""
-        heap, due = self._eject_heap, self._eject_credit_due
-        if heap and due:
-            return min(heap[0][0], due[0][0])
-        if heap:
-            return heap[0][0]
+        q, due = self._eject_q, self._eject_credit_due
+        if q and due:
+            return min(q[0][0], due[0][0])
+        if q:
+            return q[0][0]
         if due:
             return due[0][0]
         raise IndexError("next_eject_cycle() on idle ejection side")

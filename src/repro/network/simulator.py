@@ -40,7 +40,7 @@ import math
 import random
 
 from ..metrics.stats import NetworkStats
-from ..routing import RoutingAlgorithm, make_routing
+from ..routing import RoutingAlgorithm, compile_routing, make_routing
 from ..topology.base import Topology
 from ..vcalloc import VCAllocationPolicy, make_vc_policy
 from .config import NetworkConfig
@@ -59,7 +59,8 @@ class Network:
                  vc_policy: VCAllocationPolicy | str = "dynamic",
                  seed: int = 1, stats: NetworkStats | None = None,
                  router_cls: type[Router] = Router,
-                 active_set: bool = True):
+                 active_set: bool = True,
+                 compiled_routing: bool = True):
         self.topology = topology
         self.config = config
         if isinstance(routing, str):
@@ -87,6 +88,19 @@ class Network:
         self.nics: list[Nic] = []
         self._build_channels()
         self._build_nics()
+        # Compile deterministic routing into per-router lookup tables
+        # (``compiled_routing=False`` keeps the dynamic route() path — the
+        # differential reference the bench verifies against).
+        self.compiled_routing = (
+            compile_routing(routing, topology, config.num_vcs)
+            if compiled_routing else None)
+        if self.compiled_routing is not None:
+            tables = self.compiled_routing.tables
+            vc_ranges = self.compiled_routing.vc_ranges
+            for router in self.routers:
+                router.bind_route_table(tables[router.router_id], vc_ranges)
+            for nic in self.nics:
+                nic.bind_vc_ranges(vc_ranges)
         if active_set:
             for router in self.routers:
                 router.bind_scheduler(self._work_routers,
@@ -101,7 +115,9 @@ class Network:
     def _build_channels(self) -> None:
         cfg = self.config
         for channel in self.topology.channels():
-            link = Link()
+            # Point-to-point channels deliver in send order (see link.py);
+            # multidrop channels mix endpoint latencies and need the heap.
+            link = Link(fifo=len(channel.endpoints) == 1)
             self.links.append(link)
             endpoints = [
                 OutEndpoint(ep.router, ep.in_port, ep.latency,
@@ -137,8 +153,9 @@ class Network:
                                    sink=nic, is_ejection=True)
             router.attach_output(eject_port, eject_out)
             nic.eject_endpoint = eject_ep
-            # Injection: NIC -> router local input port.
-            inject_link = Link()
+            # Injection: NIC -> router local input port (one sender, one
+            # cycle of latency: always FIFO).
+            inject_link = Link(fifo=True)
             self.links.append(inject_link)
             nic.inject_link = inject_link
             nic.inject_endpoint = OutEndpoint(
@@ -191,6 +208,8 @@ class Network:
         cycle = self.cycle
         routers = self.routers
         nics = self.nics
+        # The drained checks inline the components' *_active/has_work
+        # properties (one property call per member per cycle adds up).
         credit_set = self._credit_routers
         if credit_set:
             for rid in sorted(credit_set):
@@ -203,7 +222,7 @@ class Network:
             for nid in sorted(eject_set):
                 nic = nics[nid]
                 nic.tick_eject(cycle, self)
-                if not nic.eject_active:
+                if not (nic._eject_q or nic._eject_credit_due):
                     del eject_set[nid]
         live_links = self._live_links
         if live_links:
@@ -211,21 +230,21 @@ class Network:
             for lid in sorted(live_links):
                 link = links[lid]
                 link.tick(cycle, routers)
-                if not link.in_flight:
+                if not link._q:
                     del live_links[lid]
         work_set = self._work_routers
         if work_set:
             for rid in sorted(work_set):
                 router = routers[rid]
                 router.step(cycle)
-                if not router.has_work:
+                if not router._arrivals and router._buffered_flits == 0:
                     del work_set[rid]
         inject_set = self._inject_nics
         if inject_set:
             for nid in sorted(inject_set):
                 nic = nics[nid]
                 nic.tick_inject(cycle)
-                if not nic.inject_active:
+                if not (nic.queue or nic._sending):
                     del inject_set[nid]
         self.cycle = cycle + 1
 
@@ -342,7 +361,7 @@ class Network:
             if self._inject_nics:
                 return False
             nics = self.nics
-            if any(nics[nid]._eject_heap for nid in self._eject_nics):
+            if any(nics[nid]._eject_q for nid in self._eject_nics):
                 return False
             return stats.injected_packets == stats.ejected_packets
         if any(not nic.idle for nic in self.nics):
@@ -358,6 +377,7 @@ def build_network(topology: Topology, routing: str = "xy",
                   vc_policy: str = "dynamic",
                   config: NetworkConfig | None = None,
                   seed: int = 1, active_set: bool = True,
+                  compiled_routing: bool = True,
                   **config_overrides) -> Network:
     """Convenience constructor used by examples and the harness."""
     if config is None:
@@ -365,4 +385,4 @@ def build_network(topology: Topology, routing: str = "xy",
     elif config_overrides:
         raise ValueError("pass either config or keyword overrides, not both")
     return Network(topology, config, routing, vc_policy, seed=seed,
-                   active_set=active_set)
+                   active_set=active_set, compiled_routing=compiled_routing)

@@ -23,7 +23,8 @@ class VCState(IntEnum):
 class VirtualChannel:
     """State for one input VC: buffer + packet-in-progress bookkeeping."""
 
-    __slots__ = ("vc_id", "buffer", "state", "out_port", "out_ep", "out_vc")
+    __slots__ = ("vc_id", "buffer", "state", "out_port", "out_ep", "out_vc",
+                 "out_ep_obj", "out_ovc_obj")
 
     def __init__(self, vc_id: int, buffer_depth: int):
         self.vc_id = vc_id
@@ -32,6 +33,12 @@ class VirtualChannel:
         self.out_port = -1
         self.out_ep = 0  # endpoint (drop) index on multidrop channels
         self.out_vc = -1
+        # Resolved downstream objects for the ACTIVE packet (the OutEndpoint
+        # and OutVC behind the indices above), bound by the router at VA
+        # grant time so credit checks and traversal skip the
+        # out_ports[...]->endpoints[...]->ovcs[...] indexing chain.
+        self.out_ep_obj = None
+        self.out_ovc_obj = None
 
     # -- state transitions -------------------------------------------------
 
@@ -61,6 +68,8 @@ class VirtualChannel:
         self.out_port = -1
         self.out_ep = 0
         self.out_vc = -1
+        self.out_ep_obj = None
+        self.out_ovc_obj = None
 
     # -- queries ------------------------------------------------------------
 

@@ -2,13 +2,16 @@
 
 from ..topology.base import Topology
 from .base import RoutingAlgorithm
+from .compiled import CompiledRouting, compile_routing
 from .dor import DimensionOrderRouting, xy_routing, yx_routing
 from .o1turn import O1TurnRouting
 
 __all__ = [
+    "CompiledRouting",
     "DimensionOrderRouting",
     "O1TurnRouting",
     "RoutingAlgorithm",
+    "compile_routing",
     "make_routing",
     "xy_routing",
     "yx_routing",

@@ -1,0 +1,59 @@
+"""Compiled routing tables.
+
+At ``Network`` construction any deterministic (``tabulable``) routing
+algorithm is compiled into flat per-router lookup tables, replacing the
+per-flit ``route()`` call chain (topology ``isinstance`` checks, ``coords``
+tuple math, string compares on order/dimension) with a single tuple index:
+
+    entry = tables[router][route_choice][dst_terminal]
+    out_port, drop, vc_lo, vc_hi = entry
+
+The VC range is folded into the entry so the router's VA stage and the
+buffer-bypass head path get routing *and* the packet's deadlock-class VC
+window from one lookup. ``vc_ranges[route_choice]`` carries the same window
+for call sites that already know the route (VA retries, NIC injection).
+
+Compilation calls the algorithm's pure ``route_entry``/``vc_range_for_choice``
+— the exact code the dynamic path runs — so the table cannot diverge from
+``route()`` (locked in by ``tests/routing/test_compiled.py``).
+"""
+
+from __future__ import annotations
+
+from ..topology.base import Topology
+from .base import RoutingAlgorithm
+
+
+class CompiledRouting:
+    """Flat routing tables for one (algorithm, topology, num_vcs) triple."""
+
+    __slots__ = ("tables", "vc_ranges", "num_route_choices")
+
+    def __init__(self, tables, vc_ranges):
+        #: tables[router][route_choice][dst] -> (out_port, drop, lo, hi)
+        self.tables = tables
+        #: vc_ranges[route_choice] -> (lo, hi)
+        self.vc_ranges = vc_ranges
+        self.num_route_choices = len(vc_ranges)
+
+    def router_table(self, router: int):
+        """Per-choice destination tables for one router."""
+        return self.tables[router]
+
+
+def compile_routing(routing: RoutingAlgorithm, topology: Topology,
+                    num_vcs: int) -> CompiledRouting | None:
+    """Build lookup tables for ``routing``; None when not tabulable."""
+    if not routing.tabulable:
+        return None
+    choices = range(routing.num_route_choices)
+    vc_ranges = tuple(routing.vc_range_for_choice(c, num_vcs)
+                      for c in choices)
+    terminals = range(topology.num_terminals)
+    tables = tuple(
+        tuple(
+            [(*routing.route_entry(router, dst, choice), *vc_ranges[choice])
+             for dst in terminals]
+            for choice in choices)
+        for router in range(topology.num_routers))
+    return CompiledRouting(tables, vc_ranges)

@@ -18,9 +18,16 @@ from .base import RoutingAlgorithm
 
 
 class DimensionOrderRouting(RoutingAlgorithm):
-    """XY (``order='xy'``) or YX (``order='yx'``) minimal routing."""
+    """XY (``order='xy'``) or YX (``order='yx'``) minimal routing.
+
+    Fully deterministic in ``(router, dst, route_choice)``, so the network
+    compiles it into lookup tables (``tabulable``); ``route_choice`` 1 flips
+    the dimension order, which is how O1TURN reuses this implementation.
+    """
 
     num_vc_classes = 1
+    tabulable = True
+    num_route_choices = 2  # 0: configured order, 1: flipped (O1TURN)
 
     def __init__(self, topology: Topology, order: str = "xy"):
         super().__init__(topology)
@@ -33,13 +40,17 @@ class DimensionOrderRouting(RoutingAlgorithm):
         self.name = order
 
     def route(self, router: int, packet: Packet) -> tuple[int, int]:
+        return self.route_entry(router, packet.dst, packet.route_choice)
+
+    def route_entry(self, router: int, dst: int,
+                    route_choice: int) -> tuple[int, int]:
         topo = self.topology
-        dst_router = topo.terminal_router(packet.dst)
+        dst_router = topo.terminal_router(dst)
         if router == dst_router:
-            return self._eject(packet)
+            return topo.ejection_port(dst), 0
         x, y = topo.coords(router)
         dx, dy = topo.coords(dst_router)
-        order = self.order if packet.route_choice == 0 else (
+        order = self.order if route_choice == 0 else (
             "yx" if self.order == "xy" else "xy")
         if order == "xy":
             dim = "x" if dx != x else "y"

@@ -29,9 +29,13 @@ class O1TurnRouting(DimensionOrderRouting):
 
     def vc_limits(self, packet: Packet, num_vcs: int,
                   out_port: int = -1) -> tuple[int, int]:
+        return self.vc_range_for_choice(packet.route_choice, num_vcs)
+
+    def vc_range_for_choice(self, route_choice: int,
+                            num_vcs: int) -> tuple[int, int]:
         if num_vcs < 2:
             raise ValueError("O1TURN needs at least 2 VCs (one per class)")
         half = num_vcs // 2
-        if packet.route_choice == 0:
+        if route_choice == 0:
             return 0, half
         return half, num_vcs

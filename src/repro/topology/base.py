@@ -147,6 +147,9 @@ class GridTopology(Topology):
         self.kx = kx
         self.ky = ky
         self._concentration = concentration
+        # id -> (x, y), precomputed once so per-flit routing paths never
+        # redo the divmod.
+        self._coords = [(r % kx, r // kx) for r in range(kx * ky)]
 
     @property
     def num_routers(self) -> int:
@@ -159,7 +162,7 @@ class GridTopology(Topology):
     def coords(self, router: int) -> tuple[int, int]:
         if not 0 <= router < self.num_routers:
             raise ValueError(f"router {router} out of range")
-        return router % self.kx, router // self.kx
+        return self._coords[router]
 
     def router_at(self, x: int, y: int) -> int:
         if not (0 <= x < self.kx and 0 <= y < self.ky):

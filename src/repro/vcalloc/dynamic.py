@@ -16,12 +16,17 @@ class DynamicVCAllocation(VCAllocationPolicy):
 
     def allocate(self, ovc_states, packet: Packet, lo: int, hi: int,
                  ejection: bool = False) -> int | None:
-        self._check_range(ovc_states, lo, hi)
+        if not 0 <= lo < hi <= len(ovc_states):
+            self._check_range(ovc_states, lo, hi)
         best = None
         best_credits = -1
         for vc in range(lo, hi):
             state = ovc_states[vc]
-            if state.free and state.credit_count > best_credits:
-                best = vc
-                best_credits = state.credit_count
+            # state.free / state.credit_count, inlined (VA runs once per
+            # packet per hop, plus every retry while the class is full).
+            if state.owner is None:
+                credits = state.credits.count
+                if credits > best_credits:
+                    best = vc
+                    best_credits = credits
         return best

@@ -1,0 +1,104 @@
+"""Edge-case tests for the process-parallel sweep executor.
+
+Covers the paths an ordinary sweep never exercises: the serial fallback
+(``max_workers=1`` must not touch the process pool at all), chunk sizes
+larger than the point count, and exception surfacing — a failing point must
+come back as a ``SweepPointError`` naming that point's parameters, whether
+it died in a worker process or inline.
+"""
+
+import pytest
+
+import repro.harness.parallel as parallel
+from repro.harness.experiment import (ExperimentConfig, clear_cache,
+                                      run_experiment)
+from repro.harness.parallel import SweepPointError, run_experiments
+
+
+def _point(**overrides):
+    base = dict(topology="mesh", kx=2, ky=2, concentration=1, routing="xy",
+                pattern="uniform", rate=0.05, synth_cycles=120,
+                synth_warmup=20)
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class _PoolBomb:
+    """Stand-in ProcessPoolExecutor that fails the test if constructed."""
+
+    def __init__(self, *args, **kwargs):
+        raise AssertionError("serial fallback must not create a pool")
+
+
+class TestSerialFallback:
+    def test_single_worker_never_creates_a_pool(self, monkeypatch):
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", _PoolBomb)
+        points = [_point(seed=s) for s in (1, 2, 3)]
+        results = run_experiments(points, max_workers=1)
+        assert [r.config for r in results] == points
+        assert all(r.packets > 0 for r in results)
+        # The inline run populated the memo exactly like a pooled run would.
+        for point, result in zip(points, results):
+            assert run_experiment(point) is result
+
+    def test_single_uncached_point_runs_inline(self, monkeypatch):
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", _PoolBomb)
+        cached_point = _point(seed=4)
+        run_experiment(cached_point)  # warm the memo
+        fresh_point = _point(seed=5)
+        results = run_experiments([cached_point, fresh_point], max_workers=8)
+        assert [r.config for r in results] == [cached_point, fresh_point]
+
+
+class TestChunking:
+    def test_chunk_size_larger_than_point_count(self):
+        points = [_point(seed=s) for s in (1, 2, 3)]
+        serial = run_experiments(points, max_workers=1)
+        clear_cache()
+        pooled = run_experiments(points, max_workers=2, chunk_size=50)
+        assert pooled == serial  # Result is a frozen dataclass: field-equal
+
+    def test_oversized_chunk_still_caches_results(self):
+        points = [_point(seed=s) for s in (6, 7)]
+        results = run_experiments(points, max_workers=2, chunk_size=50)
+        for point, result in zip(points, results):
+            assert run_experiment(point) == result
+
+
+class TestExceptionSurfacing:
+    def test_worker_failure_names_the_failing_point(self):
+        good = [_point(seed=s) for s in (1, 2)]
+        bad = _point(topology="never-heard-of-it", seed=3)
+        with pytest.raises(SweepPointError) as excinfo:
+            run_experiments([*good, bad], max_workers=2, chunk_size=1)
+        err = excinfo.value
+        # The message carries the failing point's parameters, not just the
+        # underlying ValueError.
+        assert "never-heard-of-it" in err.point
+        assert bad.label in err.point
+        assert "ValueError" in err.cause
+        assert "never-heard-of-it" in str(err)
+
+    def test_inline_failure_chains_the_original_exception(self):
+        bad = _point(topology="never-heard-of-it")
+        with pytest.raises(SweepPointError) as excinfo:
+            run_experiments([bad], max_workers=1)
+        err = excinfo.value
+        assert bad.label in err.point
+        assert isinstance(err.__cause__, ValueError)
+
+    def test_sweep_point_error_survives_pickling(self):
+        import pickle
+
+        err = SweepPointError("mesh/xy/...", "ValueError: boom")
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.point == err.point
+        assert clone.cause == err.cause
+        assert str(clone) == str(err)

@@ -30,18 +30,21 @@ def _fingerprint(topo_name, kx, ky, conc, scheme, pattern, active,
                  vc_policy="dynamic", seed=3):
     """Simulate once and return every observable stat plus the end cycle."""
     topo = make_topology(topo_name, kx, ky, conc)
+    # The reference leg also disables compiled routing tables, so one
+    # comparison covers active sets, compiled routing and the bitmask
+    # allocator against the fully dynamic exhaustive core.
     net = build_network(topo, vc_policy=vc_policy,
                         config=NetworkConfig(num_vcs=4, buffer_depth=4,
                                              pseudo=scheme),
-                        seed=seed, active_set=active)
+                        seed=seed, active_set=active,
+                        compiled_routing=active)
     traffic = SyntheticTraffic(pattern, topo.num_terminals, RATE, 3,
                                seed=seed)
     net.stats.warmup_cycles = CYCLES // 4
     net.run(CYCLES, traffic)
     net.drain(max_cycles=100_000)
     net.check_invariants()
-    fp = dict(vars(net.stats))
-    fp.pop("_lat_samples", None)
+    fp = net.stats.fingerprint()
     fp["final_cycle"] = net.cycle
     return fp
 
