@@ -12,11 +12,19 @@ Commands:
 
 * ``sweep`` — sensitivity sweeps (``--kind vcs|buffers|load``);
 * ``bench`` — time the canonical simulator workloads and write
-  ``BENCH_core.json`` (the perf trajectory file, see README).
+  ``BENCH_core.json`` (the perf trajectory file, see README);
+  ``--gate`` additionally runs the instrumentation-overhead gate;
+* ``trace`` — run one experiment with the full instrumentation stack and
+  write the flit-lifecycle trace (JSONL + Chrome ``trace_event`` JSON,
+  loadable in Perfetto), the windowed per-router time series (CSV +
+  JSON + spatial heatmap) and the run manifest, e.g.::
+
+      python -m repro trace --pattern uniform --rate 0.3 --out traces/sat
 
 Figure and sweep commands accept ``--workers N`` to fan the underlying
 simulations out over N worker processes; results are bit-identical to a
-serial run.
+serial run. Figure, sweep and run commands accept ``--out PATH`` to also
+persist their rows as JSON with a provenance manifest sidecar.
 """
 
 from __future__ import annotations
@@ -28,8 +36,10 @@ import sys
 from .harness.bench import run_bench
 from .harness.experiment import ExperimentConfig, run_experiment
 from .harness.figures import ALL_FIGURES
-from .harness.report import print_table
+from .harness.report import print_table, write_results
 from .harness.sweep import sweep_buffer_depth, sweep_load, sweep_vcs
+from .instrument import (CompositeProbe, FlitTracer, TimeSeriesProbe,
+                         run_manifest, write_manifest)
 from .network.config import (ALL_SCHEMES, BASELINE, PSEUDO, PSEUDO_B,
                              PSEUDO_S, PSEUDO_SB)
 
@@ -46,9 +56,18 @@ def _figure_kwargs(fn, workers: int | None) -> dict:
     return {}
 
 
-def _cmd_figure(name: str, workers: int | None) -> int:
+def _persist(out: str | None, command: dict, rows) -> None:
+    """Write rows + provenance manifest when the command asked for --out."""
+    if out is None:
+        return
+    write_results(out, rows, run_manifest(command))
+    print(f"wrote {out}")
+
+
+def _cmd_figure(name: str, workers: int | None, out: str | None) -> int:
     fn = ALL_FIGURES[name]
-    fn(**_figure_kwargs(fn, workers))
+    rows = fn(**_figure_kwargs(fn, workers))
+    _persist(out, {"command": name, "workers": workers}, rows)
     return 0
 
 
@@ -59,27 +78,85 @@ def _cmd_all(workers: int | None) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
+def _experiment_config(args) -> ExperimentConfig:
     common = dict(topology=args.topology, kx=args.kx, ky=args.ky,
                   concentration=args.concentration, routing=args.routing,
                   vc_policy=args.va, seed=args.seed)
     if args.benchmark:
-        cfg = ExperimentConfig(benchmark=args.benchmark,
-                               trace_cycles=args.cycles, **common)
-    else:
-        cfg = ExperimentConfig(pattern=args.pattern, rate=args.rate,
-                               synth_cycles=args.cycles,
-                               synth_warmup=args.cycles // 4, **common)
+        return ExperimentConfig(benchmark=args.benchmark,
+                                trace_cycles=args.cycles, **common)
+    return ExperimentConfig(pattern=args.pattern, rate=args.rate,
+                            synth_cycles=args.cycles,
+                            synth_warmup=args.cycles // 4, **common)
+
+
+def _cmd_run(args) -> int:
+    cfg = _experiment_config(args)
+    tracing = args.trace is not None or args.series is not None
+    if tracing and args.scheme == "all":
+        print("error: --trace/--series need a single --scheme",
+              file=sys.stderr)
+        return 2
     rows = []
+    out_rows = []
     schemes = (ALL_SCHEMES if args.scheme == "all"
                else [SCHEMES[args.scheme]])
     for scheme in schemes:
-        res = run_experiment(cfg.with_scheme(scheme))
+        probe = tracer = series = None
+        if tracing:
+            tracer = FlitTracer(max_events=args.max_events)
+            series = TimeSeriesProbe(window=args.window)
+            probe = CompositeProbe(tracer, series)
+        res = run_experiment(cfg.with_scheme(scheme), probe=probe)
+        if tracer is not None and args.trace is not None:
+            _write_trace(tracer, args.trace, res.manifest)
+        if series is not None and args.series is not None:
+            series.flush()
+            _write_series(series, args.series)
         rows.append((scheme.label, res.avg_latency, res.reusability,
                      res.buffer_bypass_rate,
                      res.energy_pj / max(1, res.flit_hops)))
+        out_rows.append({"scheme": scheme.label,
+                         "avg_latency": res.avg_latency,
+                         "reusability": res.reusability,
+                         "buffer_bypass_rate": res.buffer_bypass_rate,
+                         "energy_pj": res.energy_pj,
+                         "manifest": res.manifest})
     print_table(cfg.label,
                 ["scheme", "latency", "reuse", "buf bypass", "pJ/hop"], rows)
+    _persist(args.out, {"command": "run", "label": cfg.label}, out_rows)
+    return 0
+
+
+def _write_trace(tracer: FlitTracer, prefix: str,
+                 manifest: dict | None) -> None:
+    print(f"wrote {tracer.to_jsonl(prefix + '.jsonl')}")
+    print(f"wrote {tracer.to_chrome_trace(prefix + '.trace.json')}")
+    if manifest is not None:
+        print(f"wrote {write_manifest(manifest, prefix + '.jsonl')}")
+
+
+def _write_series(series: TimeSeriesProbe, prefix: str) -> None:
+    print(f"wrote {series.to_csv(prefix + '.series.csv')}")
+    print(f"wrote {series.to_json(prefix + '.series.json')}")
+    try:
+        print(f"wrote {series.write_heatmap(prefix + '.heatmap.json')}")
+    except ValueError:
+        pass  # non-grid topology: no spatial layout to plot
+
+
+def _cmd_trace(args) -> int:
+    cfg = _experiment_config(args).with_scheme(SCHEMES[args.scheme])
+    tracer = FlitTracer(max_events=args.max_events)
+    series = TimeSeriesProbe(window=args.window)
+    res = run_experiment(cfg, probe=CompositeProbe(tracer, series))
+    series.flush()
+    _write_trace(tracer, args.out, res.manifest)
+    _write_series(series, args.out)
+    dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+    print(f"{sum(tracer.counts.values())} events over "
+          f"{len(series.samples)} windows{dropped}; "
+          f"avg latency {res.avg_latency:.2f}")
     return 0
 
 
@@ -93,6 +170,7 @@ def _cmd_sweep(args) -> int:
                 [key, "baseline", "Pseudo+S+B", "reduction", "reuse"],
                 [(r[key], r["baseline_latency"], r["latency"],
                   r["reduction"], r["reusability"]) for r in rows])
+    _persist(args.out, {"command": "sweep", "kind": args.kind}, rows)
     return 0
 
 
@@ -103,32 +181,59 @@ def main(argv=None) -> int:
     for name in ALL_FIGURES:
         fig_p = sub.add_parser(name, help=f"regenerate {name}")
         fig_p.add_argument("--workers", type=int, default=None)
+        fig_p.add_argument("--out", default=None,
+                           help="also write rows + manifest to this JSON")
     all_p = sub.add_parser("all", help="regenerate every figure and table")
     all_p.add_argument("--workers", type=int, default=None)
 
-    run_p = sub.add_parser("run", help="run one experiment")
-    run_p.add_argument("--topology", default="mesh",
+    def add_experiment_args(p, scheme_default: str,
+                            scheme_choices: list[str]) -> None:
+        p.add_argument("--topology", default="mesh",
                        choices=["mesh", "cmesh", "fbfly", "mecs",
                                 "evc_mesh"])
-    run_p.add_argument("--kx", type=int, default=8)
-    run_p.add_argument("--ky", type=int, default=8)
-    run_p.add_argument("--concentration", type=int, default=1)
-    run_p.add_argument("--routing", default="xy",
+        p.add_argument("--kx", type=int, default=8)
+        p.add_argument("--ky", type=int, default=8)
+        p.add_argument("--concentration", type=int, default=1)
+        p.add_argument("--routing", default="xy",
                        choices=["xy", "yx", "o1turn"])
-    run_p.add_argument("--va", default="dynamic",
+        p.add_argument("--va", default="dynamic",
                        choices=["dynamic", "static"])
-    run_p.add_argument("--scheme", default="all",
-                       choices=["all"] + sorted(SCHEMES))
-    run_p.add_argument("--pattern", default="uniform")
-    run_p.add_argument("--rate", type=float, default=0.1)
-    run_p.add_argument("--benchmark", default=None)
-    run_p.add_argument("--cycles", type=int, default=1500)
-    run_p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--scheme", default=scheme_default,
+                       choices=scheme_choices)
+        p.add_argument("--pattern", default="uniform")
+        p.add_argument("--rate", type=float, default=0.1)
+        p.add_argument("--benchmark", default=None)
+        p.add_argument("--cycles", type=int, default=1500)
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--window", type=int, default=64,
+                       help="time-series window in cycles (default 64)")
+        p.add_argument("--max-events", type=int, default=None,
+                       help="cap stored trace events (drops past the cap)")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    add_experiment_args(run_p, "all", ["all"] + sorted(SCHEMES))
+    run_p.add_argument("--trace", default=None, metavar="PREFIX",
+                       help="write PREFIX.jsonl + PREFIX.trace.json "
+                            "(needs a single --scheme)")
+    run_p.add_argument("--series", default=None, metavar="PREFIX",
+                       help="write PREFIX.series.{csv,json} "
+                            "(needs a single --scheme)")
+    run_p.add_argument("--out", default=None,
+                       help="also write rows + manifest to this JSON")
+
+    trace_p = sub.add_parser(
+        "trace", help="run one experiment fully instrumented; write trace, "
+                      "time series, heatmap and manifest")
+    add_experiment_args(trace_p, "pseudo_sb", sorted(SCHEMES))
+    trace_p.add_argument("--out", default="repro_trace", metavar="PREFIX",
+                         help="output prefix (default repro_trace)")
 
     sweep_p = sub.add_parser("sweep", help="sensitivity sweeps")
     sweep_p.add_argument("--kind", default="load",
                          choices=["vcs", "buffers", "load"])
     sweep_p.add_argument("--workers", type=int, default=None)
+    sweep_p.add_argument("--out", default=None,
+                         help="also write rows + manifest to this JSON")
 
     bench_p = sub.add_parser(
         "bench", help="time canonical workloads, write BENCH_core.json")
@@ -141,14 +246,20 @@ def main(argv=None) -> int:
     bench_p.add_argument("--profile", action="store_true",
                          help="also run one repeat under cProfile and "
                               "print the top-20 cumulative entries")
+    bench_p.add_argument("--gate", action="store_true",
+                         help="run the instrumentation-overhead gate: "
+                              "probes cold, stats bit-identical, walls "
+                              "within 2%% of the previous report")
 
     args = parser.parse_args(argv)
     if args.command in ALL_FIGURES:
-        return _cmd_figure(args.command, args.workers)
+        return _cmd_figure(args.command, args.workers, args.out)
     if args.command == "all":
         return _cmd_all(args.workers)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "bench":
         kwargs = {}
         if args.cycles is not None:
@@ -156,7 +267,7 @@ def main(argv=None) -> int:
         if args.repeats is not None:
             kwargs["repeats"] = args.repeats
         run_bench(out_path=None if args.out == "-" else args.out,
-                  profile=args.profile, **kwargs)
+                  profile=args.profile, gate=args.gate, **kwargs)
         return 0
     return _cmd_sweep(args)
 

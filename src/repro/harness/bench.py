@@ -22,6 +22,14 @@ sweeps.
 ``--profile`` wraps one extra repeat of every workload in ``cProfile`` and
 prints the top cumulative-time entries, so perf work can cite a profile
 instead of guessing.
+
+``--gate`` turns the run into the instrumentation-overhead gate: before
+overwriting the report it loads the previous one, then (a) asserts a
+default-built network carries no probe, (b) asserts stats stay
+bit-identical with a full tracer + time-series stack attached, and (c)
+when a previous report at matching scale exists, asserts the fresh
+probes-disabled walls are within 2% of it (weighted geomean). See
+``repro.instrument.overhead``.
 """
 
 from __future__ import annotations
@@ -29,11 +37,14 @@ from __future__ import annotations
 import cProfile
 import json
 import math
+import os
 import platform
 import pstats
 import sys
 import time
 
+from ..instrument import git_sha, overhead_gate, run_manifest, write_manifest
+from ..instrument.overhead import timing_gate
 from ..network.config import BASELINE, PSEUDO_SB, NetworkConfig
 from ..network.simulator import build_network
 from ..topology import make_topology
@@ -160,8 +171,14 @@ def profile_workloads(cycles: int = DEFAULT_CYCLES, top: int = 20) -> None:
 
 def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
               out_path: str | None = "BENCH_core.json",
-              show: bool = True, profile: bool = False) -> dict:
+              show: bool = True, profile: bool = False,
+              gate: bool = False) -> dict:
     """Time every canonical workload; optionally write ``BENCH_core.json``."""
+    previous = None
+    if gate and out_path is not None and os.path.exists(out_path):
+        with open(out_path, encoding="utf-8") as fh:
+            previous = json.load(fh)
+    start_wall = time.perf_counter()
     workloads = []
     weights = {name: weight for name, _, _, weight in CANONICAL_WORKLOADS}
     at_default_scale = cycles == DEFAULT_CYCLES
@@ -199,6 +216,7 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
             "generated_unix": int(time.time()),
             "python": sys.version.split()[0],
             "platform": platform.platform(),
+            "git_sha": git_sha(),
             "cycles": cycles,
             "repeats": repeats,
             "seed": _SEED,
@@ -212,10 +230,29 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
         "summary": summary,
         "workloads": workloads,
     }
+    if gate:
+        # Scale-independent checks always run; the timing comparison only
+        # applies against a previous report at the same cycle count.
+        gate_report = overhead_gate(cycles=min(cycles, 400), show=show)
+        if previous is not None and previous["meta"]["cycles"] == cycles:
+            gate_report["timing"] = timing_gate(
+                workloads, previous["workloads"], weights)
+            if show and gate_report["timing"].get("applied"):
+                print(f"timing gate: {gate_report['timing']['overhead']:+.2%}"
+                      f" vs previous report (threshold "
+                      f"{gate_report['timing']['threshold']:.0%})")
+        elif show:
+            print("timing gate: skipped (no previous report at this scale)")
+        report["overhead_gate"] = gate_report
     if out_path is not None:
         with open(out_path, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2)
             fh.write("\n")
+        manifest = run_manifest(
+            {"driver": "bench", "cycles": cycles, "repeats": repeats,
+             "workloads": [name for name, *_ in CANONICAL_WORKLOADS]},
+            seed=_SEED, wall_s=time.perf_counter() - start_wall)
+        write_manifest(manifest, out_path)
         if show:
             print(f"wrote {out_path}")
     if profile:

@@ -11,10 +11,12 @@ pay for each simulation once.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 
 from ..energy import DEFAULT_ENERGY_MODEL
 from ..evc import EvcMesh, EvcRouting
+from ..instrument import run_manifest
 from ..network.config import NetworkConfig, PseudoCircuitConfig
 from ..network.simulator import Network
 from ..topology import make_topology
@@ -81,9 +83,14 @@ class Result:
     energy_pj: float
     energy_breakdown: dict
     pc_restored: int
+    # Run provenance (repro.instrument.run_manifest). Excluded from
+    # equality so results compare by metrics regardless of which machine
+    # or commit produced them.
+    manifest: dict | None = field(default=None, compare=False)
 
     @classmethod
-    def from_network(cls, config: ExperimentConfig, net: Network) -> "Result":
+    def from_network(cls, config: ExperimentConfig, net: Network,
+                     manifest: dict | None = None) -> "Result":
         stats = net.stats
         energy = DEFAULT_ENERGY_MODEL.router_energy(stats)
         return cls(
@@ -100,13 +107,14 @@ class Result:
             energy_pj=energy["total"],
             energy_breakdown=energy,
             pc_restored=stats.pc_restored,
+            manifest=manifest,
         )
 
 
 _run_cache: dict[ExperimentConfig, Result] = {}
 
 
-def build_network(config: ExperimentConfig) -> Network:
+def build_network(config: ExperimentConfig, probe=None) -> Network:
     net_cfg = NetworkConfig(
         num_vcs=config.num_vcs, buffer_depth=config.buffer_depth,
         pseudo=config.scheme,
@@ -115,19 +123,29 @@ def build_network(config: ExperimentConfig) -> Network:
         topo = EvcMesh(config.kx, config.ky, config.concentration)
         routing = EvcRouting(topo)
         return Network(topo, net_cfg, routing=routing,
-                       vc_policy=config.vc_policy, seed=config.seed)
+                       vc_policy=config.vc_policy, seed=config.seed,
+                       probe=probe)
     topo = make_topology(config.topology, config.kx, config.ky,
                          config.concentration)
     return Network(topo, net_cfg, routing=config.routing,
-                   vc_policy=config.vc_policy, seed=config.seed)
+                   vc_policy=config.vc_policy, seed=config.seed,
+                   probe=probe)
 
 
-def run_experiment(config: ExperimentConfig, *,
-                   use_cache: bool = True) -> Result:
-    """Simulate one configuration (memoized per process)."""
+def run_experiment(config: ExperimentConfig, *, use_cache: bool = True,
+                   probe=None) -> Result:
+    """Simulate one configuration (memoized per process).
+
+    ``probe`` attaches an instrumentation probe for this run; probed runs
+    never read or populate the memo (the probe observes the simulation, so
+    a cached result would silently skip it).
+    """
+    if probe is not None:
+        use_cache = False
     if use_cache and config in _run_cache:
         return _run_cache[config]
-    net = build_network(config)
+    start = time.perf_counter()
+    net = build_network(config, probe=probe)
     if config.benchmark is not None:
         trace = get_trace(config.benchmark, cycles=config.trace_cycles,
                           warmup=config.trace_warmup, seed=config.seed)
@@ -140,7 +158,10 @@ def run_experiment(config: ExperimentConfig, *,
         net.run(config.synth_cycles, traffic)
         net.drain(max_cycles=500_000)
     net.check_invariants()
-    result = Result.from_network(config, net)
+    wall = time.perf_counter() - start
+    manifest = run_manifest(config, seed=config.seed, cycles=net.cycle,
+                            wall_s=wall)
+    result = Result.from_network(config, net, manifest=manifest)
     if use_cache:
         _run_cache[config] = result
     return result

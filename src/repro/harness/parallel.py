@@ -17,10 +17,12 @@ cache, which lets the figure code keep its cheap memoized
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 
+from ..instrument import run_manifest
 from .experiment import (ExperimentConfig, Result, cache_result, cached,
                          run_experiment)
 
@@ -49,18 +51,26 @@ class SweepPointError(RuntimeError):
     *which* of the fanned-out simulations died, so every point — worker or
     inline — is wrapped to attach its ``ExperimentConfig``. The original
     exception stays chained as ``__cause__`` (inline runs) and summarized
-    in ``cause`` (which also survives pickling back from a worker).
+    in ``cause`` (which also survives pickling back from a worker). When
+    the run manifest of the failing point is available it is embedded in
+    the message and kept on ``manifest``, so the report names the exact
+    config hash, seed and commit needed to reproduce the failure.
     """
 
-    def __init__(self, point: str, cause: str):
-        super().__init__(f"sweep point {point} failed: {cause}")
+    def __init__(self, point: str, cause: str, manifest: dict | None = None):
+        message = f"sweep point {point} failed: {cause}"
+        if manifest is not None:
+            message += "\nrun manifest: " + json.dumps(
+                manifest, sort_keys=True, default=str)
+        super().__init__(message)
         self.point = point
         self.cause = cause
+        self.manifest = manifest
 
     def __reduce__(self):
         # Default exception pickling would re-call __init__ with the
         # formatted message as ``point``; rebuild from the raw fields.
-        return (SweepPointError, (self.point, self.cause))
+        return (SweepPointError, (self.point, self.cause, self.manifest))
 
 
 def _run_point(cfg: ExperimentConfig) -> Result:
@@ -68,8 +78,13 @@ def _run_point(cfg: ExperimentConfig) -> Result:
     try:
         return run_experiment(cfg)
     except Exception as exc:
+        try:
+            manifest = run_manifest(cfg, seed=cfg.seed)
+        except Exception:
+            manifest = None  # provenance must never mask the real failure
         raise SweepPointError(
-            f"{cfg.label} ({cfg!r})", f"{type(exc).__name__}: {exc}"
+            f"{cfg.label} ({cfg!r})", f"{type(exc).__name__}: {exc}",
+            manifest,
         ) from exc
 
 

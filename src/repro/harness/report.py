@@ -1,8 +1,11 @@
-"""Plain-text table/series rendering for experiment results."""
+"""Plain-text table/series rendering and result persistence."""
 
 from __future__ import annotations
 
+import json
 from collections.abc import Sequence
+
+from ..instrument import write_manifest
 
 
 def format_cell(value) -> str:
@@ -43,3 +46,14 @@ def reduction(baseline: float, value: float) -> float:
     if baseline <= 0:
         raise ValueError("baseline latency must be positive")
     return 1.0 - value / baseline
+
+
+def write_results(path: str, rows, manifest: dict | None = None) -> str:
+    """Persist figure/sweep rows as JSON; with ``manifest``, also write the
+    provenance sidecar (``<path minus ext>.manifest.json``)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"rows": rows}, fh, indent=2, default=str)
+        fh.write("\n")
+    if manifest is not None:
+        write_manifest(manifest, path)
+    return path

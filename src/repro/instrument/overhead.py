@@ -1,0 +1,153 @@
+"""The instrumentation-overhead gate.
+
+The layer's contract is *zero overhead when off*: a network built without
+a probe must behave — and cost — exactly as if the layer did not exist.
+The gate checks this three ways:
+
+1. **Structural** (:func:`assert_probes_cold`): a default-built network
+   holds no probe on any router, link or NIC — a probe accidentally left
+   attached (hot) fails deterministically, at any cycle count. This is the
+   check CI runs at reduced scale.
+2. **Bit-identity** (:func:`identity_check`): the same workload run with
+   probes disabled and with a full tracer + time-series stack attached
+   produces identical ``NetworkStats`` fingerprints — instrumentation
+   observes, never perturbs. The traced run also cross-checks the traced
+   pseudo-circuit termination events against the aggregate counters.
+3. **Timing** (:func:`timing_gate`): the freshly measured bench walls must
+   be within ``GATE_THRESHOLD`` (2%) of the walls recorded by the previous
+   ``BENCH_core.json`` — only meaningful at the same scale on the same
+   machine, so ``python -m repro bench --gate`` applies it when a previous
+   report at matching scale exists and always runs checks 1–2.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..metrics.stats import NetworkStats
+from ..network.config import PSEUDO_SB, NetworkConfig
+from ..network.simulator import build_network
+from ..topology import make_topology
+from ..traffic.synthetic import SyntheticTraffic
+from .probe import CompositeProbe
+from .series import TimeSeriesProbe
+from .tracer import FlitTracer
+
+#: Maximum tolerated slowdown of the probes-disabled hot path.
+GATE_THRESHOLD = 0.02
+
+
+class OverheadGateError(AssertionError):
+    """The instrumentation layer violated its zero-overhead contract."""
+
+
+def assert_probes_cold(network) -> None:
+    """Raise unless every component of ``network`` has its probe unset."""
+    if network.probe is not None:
+        raise OverheadGateError("network carries a probe by default")
+    for router in network.routers:
+        if router._probe is not None:
+            raise OverheadGateError(
+                f"router {router.router_id} carries a probe by default")
+    for link in network.links:
+        if link._probe is not None:
+            raise OverheadGateError(
+                f"link {link.link_id} carries a probe by default")
+    for nic in network.nics:
+        if nic._probe is not None:
+            raise OverheadGateError(
+                f"NIC {nic.terminal} carries a probe by default")
+
+
+def _run(cycles: int, rate: float, seed: int, probe=None) -> NetworkStats:
+    config = NetworkConfig(num_vcs=4, buffer_depth=4, pseudo=PSEUDO_SB)
+    topo = make_topology("mesh", 8, 8, 1)
+    net = build_network(topo, config=config, seed=seed, probe=probe)
+    traffic = SyntheticTraffic("uniform", topo.num_terminals, rate, 5,
+                               seed=seed)
+    net.stats.warmup_cycles = cycles // 5
+    net.run(cycles, traffic)
+    net.drain(max_cycles=500_000)
+    return net.stats
+
+
+def identity_check(cycles: int = 400, rate: float = 0.30,
+                   seed: int = 7) -> dict:
+    """Run the saturation workload bare and fully instrumented; raise
+    unless the stats are bit-identical and the traced pseudo-circuit
+    termination events reconcile with the aggregate counters."""
+    bare = _run(cycles, rate, seed)
+    tracer = FlitTracer()
+    series = TimeSeriesProbe(window=max(1, cycles // 16))
+    probed = _run(cycles, rate, seed,
+                  probe=CompositeProbe(tracer, series))
+    if bare.fingerprint() != probed.fingerprint():
+        diff = {k: (v, probed.fingerprint()[k])
+                for k, v in bare.fingerprint().items()
+                if probed.fingerprint()[k] != v}
+        raise OverheadGateError(
+            f"stats diverged with probes attached: {diff}")
+    traced = tracer.termination_counts
+    aggregate = {reason.value: count
+                 for reason, count in probed.pc_terminations.items()
+                 if count}
+    if traced != aggregate:
+        raise OverheadGateError(
+            f"traced terminations {traced} != counters {aggregate}")
+    return {
+        "cycles": cycles,
+        "stats_identical": True,
+        "traced_events": sum(tracer.counts.values()),
+        "pc_terminations": dict(traced),
+        "series_windows": len(series.samples),
+    }
+
+
+def timing_gate(workloads: list[dict], previous: list[dict],
+                weights: dict[str, int],
+                threshold: float = GATE_THRESHOLD) -> dict:
+    """Compare fresh bench walls against the previous report's.
+
+    Overhead is the weighted geometric mean of per-workload wall ratios
+    (same weights as the bench summary); the gate trips when it exceeds
+    ``threshold``. Per-workload ratios are reported for diagnosis.
+    """
+    prev_wall = {row["name"]: row["wall_s"] for row in previous}
+    rows = []
+    log_sum = 0.0
+    weight_sum = 0
+    for row in workloads:
+        base = prev_wall.get(row["name"])
+        if base is None or base <= 0:
+            continue
+        ratio = row["wall_s"] / base
+        weight = weights.get(row["name"], 1)
+        log_sum += weight * math.log(ratio)
+        weight_sum += weight
+        rows.append({"name": row["name"], "wall_s": row["wall_s"],
+                     "previous_wall_s": base,
+                     "overhead": round(ratio - 1.0, 4)})
+    if not weight_sum:
+        return {"applied": False, "reason": "no comparable workloads"}
+    overhead = math.exp(log_sum / weight_sum) - 1.0
+    result = {"applied": True, "threshold": threshold,
+              "overhead": round(overhead, 4), "workloads": rows}
+    if overhead > threshold:
+        raise OverheadGateError(
+            f"probes-disabled bench is {overhead:+.2%} vs the previous "
+            f"report (threshold {threshold:.0%}): {rows}")
+    return result
+
+
+def overhead_gate(cycles: int = 400, show: bool = True) -> dict:
+    """Run the scale-independent checks (structural + bit-identity)."""
+    config = NetworkConfig(num_vcs=4, buffer_depth=4, pseudo=PSEUDO_SB)
+    topo = make_topology("mesh", 8, 8, 1)
+    assert_probes_cold(build_network(topo, config=config))
+    report = identity_check(cycles=cycles)
+    report["probes_cold"] = True
+    if show:
+        print(f"overhead gate: probes cold, stats bit-identical over "
+              f"{cycles} cycles ({report['traced_events']} traced events, "
+              f"{report['series_windows']} series windows)")
+    return report

@@ -1,0 +1,189 @@
+"""Flit-lifecycle tracing: JSONL event stream + Chrome trace_event export.
+
+``FlitTracer`` records every probe event as a flat dict. Two exports:
+
+* :meth:`to_jsonl` — one JSON object per line, schema below; the natural
+  input for ad-hoc analysis (``jq``, pandas).
+* :meth:`to_chrome_trace` / :meth:`chrome_trace` — the Chrome
+  ``trace_event`` JSON format, loadable in Perfetto or ``chrome://tracing``.
+  Routers map to *processes* (pid), input ports to *threads* (tid), one
+  simulated cycle to one microsecond. Crossbar traversals are complete
+  ("X") slices named ``hop:<via>``; pseudo-circuit events are instants;
+  hops of one packet are stitched together with flow events keyed by the
+  packet id, so selecting any hop highlights the packet's whole path.
+
+JSONL schema — every record has ``ev`` and ``cycle``; the rest varies:
+
+=================  ========================================================
+``buffer_write``   ``router, port, vc, pid, fidx``
+``buffer_read``    ``router, port, vc, pid, fidx``
+``va_grant``       ``router, port, vc, out_port, out_vc, pid``
+``hop``            ``router, port, vc, out_port, via ('sa'|'pc'|'buf'),
+                   read, pid, fidx`` — ``via='pc'`` is an SA bypass,
+                   ``via='buf'`` a buffer bypass (skips BW *and* SA)
+``link``           ``link, router, port, pid, fidx`` (arrival downstream)
+``pc_establish``   ``router, port, in_vc, out_port, refreshed``
+``pc_restore``     ``router, port, out_port``
+``pc_terminate``   ``router, port, out_port, reason`` (Termination value)
+``inject``         ``terminal, pid, src, dst, size``
+``eject``          ``terminal, pid, latency``
+=================  ========================================================
+"""
+
+from __future__ import annotations
+
+import json
+
+from .probe import Probe
+
+
+class FlitTracer(Probe):
+    """Record probe events; export as JSONL or Chrome trace JSON.
+
+    ``max_events`` bounds memory: once reached, further events are counted
+    in ``dropped`` instead of stored (the counters in ``counts`` keep
+    accumulating, so aggregate cross-checks stay exact).
+    """
+
+    def __init__(self, max_events: int | None = None):
+        self.events: list[dict] = []
+        self.max_events = max_events
+        self.dropped = 0
+        #: Event-kind -> count over the whole run (never truncated).
+        self.counts: dict[str, int] = {}
+        #: Termination reason value -> count (cross-check against
+        #: ``NetworkStats.pc_terminations``).
+        self.termination_counts: dict[str, int] = {}
+
+    def _emit(self, record: dict) -> None:
+        ev = record["ev"]
+        self.counts[ev] = self.counts.get(ev, 0) + 1
+        if (self.max_events is not None
+                and len(self.events) >= self.max_events):
+            self.dropped += 1
+            return
+        self.events.append(record)
+
+    # -- probe hooks ----------------------------------------------------------
+
+    def on_buffer_write(self, cycle, router, in_port, vc, flit):
+        self._emit({"ev": "buffer_write", "cycle": cycle, "router": router,
+                    "port": in_port, "vc": vc, "pid": flit.packet.pid,
+                    "fidx": flit.index})
+
+    def on_va_grant(self, cycle, router, in_port, vc, out_port, out_vc,
+                    flit):
+        self._emit({"ev": "va_grant", "cycle": cycle, "router": router,
+                    "port": in_port, "vc": vc, "out_port": out_port,
+                    "out_vc": out_vc, "pid": flit.packet.pid})
+
+    def on_traverse(self, cycle, router, in_port, vc, out_port, via, read,
+                    flit):
+        pid = flit.packet.pid
+        if read:
+            self._emit({"ev": "buffer_read", "cycle": cycle,
+                        "router": router, "port": in_port, "vc": vc,
+                        "pid": pid, "fidx": flit.index})
+        self._emit({"ev": "hop", "cycle": cycle, "router": router,
+                    "port": in_port, "vc": vc, "out_port": out_port,
+                    "via": via, "read": read, "pid": pid,
+                    "fidx": flit.index})
+
+    def on_link(self, cycle, link, router, in_port, flit):
+        self._emit({"ev": "link", "cycle": cycle, "link": link,
+                    "router": router, "port": in_port,
+                    "pid": flit.packet.pid, "fidx": flit.index})
+
+    def on_pc_establish(self, cycle, router, in_port, in_vc, out_port,
+                        refreshed):
+        self._emit({"ev": "pc_establish", "cycle": cycle, "router": router,
+                    "port": in_port, "in_vc": in_vc, "out_port": out_port,
+                    "refreshed": refreshed})
+
+    def on_pc_restore(self, cycle, router, in_port, out_port):
+        self._emit({"ev": "pc_restore", "cycle": cycle, "router": router,
+                    "port": in_port, "out_port": out_port})
+
+    def on_pc_terminate(self, cycle, router, in_port, out_port, reason):
+        value = reason.value
+        self.termination_counts[value] = \
+            self.termination_counts.get(value, 0) + 1
+        self._emit({"ev": "pc_terminate", "cycle": cycle, "router": router,
+                    "port": in_port, "out_port": out_port, "reason": value})
+
+    def on_inject(self, cycle, terminal, packet):
+        self._emit({"ev": "inject", "cycle": cycle, "terminal": terminal,
+                    "pid": packet.pid, "src": packet.src, "dst": packet.dst,
+                    "size": packet.size})
+
+    def on_eject(self, cycle, terminal, packet):
+        self._emit({"ev": "eject", "cycle": cycle, "terminal": terminal,
+                    "pid": packet.pid,
+                    "latency": cycle - packet.create_cycle})
+
+    # -- exports --------------------------------------------------------------
+
+    def to_jsonl(self, path: str) -> str:
+        """Write one JSON object per line; returns ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in self.events:
+                fh.write(json.dumps(record, separators=(",", ":")))
+                fh.write("\n")
+        return path
+
+    def chrome_trace(self) -> dict:
+        """Build the Chrome ``trace_event`` document (see module doc)."""
+        trace_events: list[dict] = []
+        seen_pids: set[int] = set()
+        named_procs: set[int] = set()
+
+        def proc(router: int) -> None:
+            if router not in named_procs:
+                named_procs.add(router)
+                trace_events.append({
+                    "name": "process_name", "ph": "M", "pid": router,
+                    "tid": 0, "args": {"name": f"router {router}"}})
+
+        for record in self.events:
+            ev = record["ev"]
+            cycle = record["cycle"]
+            if ev == "hop":
+                router, port = record["router"], record["port"]
+                proc(router)
+                pid = record["pid"]
+                trace_events.append({
+                    "name": f"hop:{record['via']}", "cat": "hop",
+                    "ph": "X", "ts": cycle, "dur": 1,
+                    "pid": router, "tid": port,
+                    "args": {"packet": pid, "fidx": record["fidx"],
+                             "vc": record["vc"],
+                             "out_port": record["out_port"],
+                             "read": record["read"]}})
+                # Flow events correlate the hops of one packet across
+                # routers: start ("s") on the first hop, step ("t") after.
+                phase = "t" if pid in seen_pids else "s"
+                seen_pids.add(pid)
+                trace_events.append({
+                    "name": "packet", "cat": "packet", "ph": phase,
+                    "id": pid, "ts": cycle, "pid": router, "tid": port})
+            elif ev in ("pc_establish", "pc_restore", "pc_terminate"):
+                router, port = record["router"], record["port"]
+                proc(router)
+                name = ev
+                if ev == "pc_terminate":
+                    name = f"pc_terminate:{record['reason']}"
+                args = {k: v for k, v in record.items()
+                        if k not in ("ev", "cycle", "router", "port")}
+                trace_events.append({
+                    "name": name, "cat": "pc", "ph": "i", "s": "t",
+                    "ts": cycle, "pid": router, "tid": port, "args": args})
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms",
+                "otherData": {"time_unit": "1 cycle = 1 us",
+                              "dropped_events": self.dropped}}
+
+    def to_chrome_trace(self, path: str) -> str:
+        """Write the Chrome trace JSON; returns ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.chrome_trace(), fh)
+            fh.write("\n")
+        return path

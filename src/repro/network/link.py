@@ -36,7 +36,7 @@ _seq = itertools.count()
 class Link:
     """Time-ordered in-flight flit queue for one channel."""
 
-    __slots__ = ("_q", "link_id", "_live", "_fifo")
+    __slots__ = ("_q", "link_id", "_live", "_fifo", "_probe")
 
     def __init__(self, fifo: bool = False):
         # fifo=True: deque of (cycle, flit, endpoint), send order == arrival
@@ -46,6 +46,9 @@ class Link:
         # Wired by the Network in active-set mode.
         self.link_id = -1
         self._live: dict | None = None
+        # Null-object probe: one attribute test on the delivery path when
+        # tracing is off (set by Network.bind_probe).
+        self._probe = None
 
     def bind(self, link_id: int, live: dict | None) -> None:
         """Attach this link to the network's live-link registry."""
@@ -70,14 +73,21 @@ class Link:
     def tick(self, now: int, routers) -> None:
         """Hand over every flit whose arrival cycle has come."""
         q = self._q
+        probe = self._probe
         if self._fifo:
             while q and q[0][0] <= now:
                 _, flit, ep = q.popleft()
                 routers[ep.router].accept_flit(ep.in_port, flit)
+                if probe is not None:
+                    probe.on_link(now, self.link_id, ep.router, ep.in_port,
+                                  flit)
         else:
             while q and q[0][0] <= now:
                 _, _, flit, ep = heapq.heappop(q)
                 routers[ep.router].accept_flit(ep.in_port, flit)
+                if probe is not None:
+                    probe.on_link(now, self.link_id, ep.router, ep.in_port,
+                                  flit)
 
     def next_arrival(self) -> int:
         """Arrival cycle of the earliest in-flight flit."""

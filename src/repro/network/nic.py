@@ -46,7 +46,7 @@ class Nic:
                  "outstanding", "inject_link", "inject_endpoint",
                  "eject_endpoint", "_eject_credit_due", "_rx_flits",
                  "_eject_q", "on_packet", "ejected", "keep_ejected",
-                 "_inject_set", "_eject_set", "_vc_ranges")
+                 "_inject_set", "_eject_set", "_vc_ranges", "_probe")
 
     def __init__(self, terminal: int, config: NetworkConfig,
                  routing: RoutingAlgorithm, vc_policy: VCAllocationPolicy,
@@ -87,6 +87,9 @@ class Nic:
         # Per-route-choice VC ranges from the compiled routing table (bound
         # by the Network for tabulable algorithms); None -> dynamic path.
         self._vc_ranges = None
+        # Null-object probe: one attribute test per inject/eject when
+        # tracing is off (set by Network.bind_probe).
+        self._probe = None
 
     def bind_scheduler(self, inject_set: dict, eject_set: dict) -> None:
         """Attach this NIC to the network's active-set registries."""
@@ -163,6 +166,9 @@ class Nic:
         self.stats.record_injection(packet)
         self.outstanding += 1
         self._sending[vc] = [packet, packet.make_flits(), 0]
+        probe = self._probe
+        if probe is not None:
+            probe.on_inject(cycle, self.terminal, packet)
 
     # -- receiving ------------------------------------------------------------
 
@@ -200,6 +206,9 @@ class Nic:
                 packet.eject_cycle = cycle
                 self.stats.record_ejection(packet)
                 network.notify_ejection(packet)
+                probe = self._probe
+                if probe is not None:
+                    probe.on_eject(cycle, self.terminal, packet)
                 if self.keep_ejected:
                     self.ejected.append(packet)
                 if self.on_packet is not None:

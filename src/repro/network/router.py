@@ -66,7 +66,7 @@ class Router:
                  "_route_table", "_vc_ranges",
                  "_pc_enabled", "_pc_speculation", "_pc_bypass",
                  "_pending_credits", "_credit_mask", "_registers",
-                 "_work_set", "_credit_set")
+                 "_work_set", "_credit_set", "_probe")
 
     def __init__(self, router_id: int, num_inports: int, num_outports: int,
                  config: NetworkConfig, routing: RoutingAlgorithm,
@@ -117,6 +117,10 @@ class Router:
         # Network when it runs in active-set mode; None when standalone.
         self._work_set: dict | None = None
         self._credit_set: dict | None = None
+        # Instrumentation probe (see ``repro.instrument``), set by
+        # Network.bind_probe; None (the null object) when tracing is off,
+        # so every emission site costs one attribute test.
+        self._probe = None
 
     # -- wiring (used by Network) ---------------------------------------------
 
@@ -235,7 +239,7 @@ class Router:
         for i, vc in grants:
             self._traverse(cycle, i, vc, via="sa")
         if pc_enabled:
-            self._pc_maintenance()
+            self._pc_maintenance(cycle)
 
     # -- VA stage -------------------------------------------------------------
 
@@ -291,9 +295,10 @@ class Router:
                     else:
                         out_port, drop = route(router_id, packet)
                     vc.start_packet(out_port, drop)
-                self._try_va(ip, vc, front)
+                self._try_va(cycle, ip, vc, front)
 
-    def _try_va(self, ip: InputPort, vc: VirtualChannel, head: Flit) -> bool:
+    def _try_va(self, cycle: int, ip: InputPort, vc: VirtualChannel,
+                head: Flit) -> bool:
         out = self.out_ports[vc.out_port]
         endpoint = out.endpoints[vc.out_ep]
         vc_ranges = self._vc_ranges
@@ -312,6 +317,10 @@ class Router:
         vc.out_ep_obj = endpoint
         vc.out_ovc_obj = ovc_state
         self.stats.va_allocations += 1
+        probe = self._probe
+        if probe is not None:
+            probe.on_va_grant(cycle, self.router_id, ip.port_id, vc.vc_id,
+                              vc.out_port, ovc, head)
         return True
 
     # -- pseudo-circuit candidates --------------------------------------------
@@ -335,7 +344,7 @@ class Router:
             if front.is_head:
                 # Route is known (the VA phase ran first this cycle).
                 if vc.out_port != reg.out_port:
-                    self._terminate_pc(i, Termination.ROUTE_MISMATCH)
+                    self._terminate_pc(cycle, i, Termination.ROUTE_MISMATCH)
                     continue
                 if vc.state != active:
                     continue  # header still waiting for an output VC
@@ -343,7 +352,7 @@ class Router:
                 raise ProtocolError(
                     f"router {self.router_id}: body flit on inactive VC")
             if vc.out_ovc_obj.credits.count == 0:
-                self._terminate_pc(i, Termination.NO_CREDIT)
+                self._terminate_pc(cycle, i, Termination.NO_CREDIT)
                 continue
             candidates[i] = vc
         return candidates
@@ -448,6 +457,8 @@ class Router:
         occ_vc_masks = self._occ_vc_masks
         occ_in_add = 0
         buffered = 0
+        probe = self._probe
+        router_id = self.router_id
         for i, flit in arrivals:
             ip = in_ports[i]
             vc = ip.vcs[flit.vc]
@@ -467,6 +478,8 @@ class Router:
                 occ_in_add |= 1 << i
             occ_vc_masks[i] = vm | (1 << flit.vc)
             buffered += 1
+            if probe is not None:
+                probe.on_buffer_write(cycle, router_id, i, flit.vc, flit)
         self._occ_in_mask |= occ_in_add
         self._buffered_flits += buffered
         self.stats.buffer_writes += buffered
@@ -494,7 +507,7 @@ class Router:
                 lo = hi = -1  # vc_limits resolved below, after early-outs
             if not ip.pc.matches_head(flit.vc, out_port):
                 if ip.pc.conflicts_with_route(flit.vc, out_port):
-                    self._terminate_pc(i, Termination.ROUTE_MISMATCH)
+                    self._terminate_pc(cycle, i, Termination.ROUTE_MISMATCH)
                 return False
             out = self.out_ports[out_port]
             if claimed_out >> out_port & 1 or out.st_busy_cycle >= cycle:
@@ -514,6 +527,10 @@ class Router:
             vc.out_ep_obj = endpoint
             vc.out_ovc_obj = ovc_state
             self.stats.va_allocations += 1
+            probe = self._probe
+            if probe is not None:
+                probe.on_va_grant(cycle, self.router_id, i, vc.vc_id,
+                                  out_port, ovc, flit)
         else:
             if vc.state != VCState.ACTIVE:
                 raise ProtocolError(
@@ -525,7 +542,7 @@ class Router:
             if vc.out_ovc_obj.credits.count == 0:
                 # Out of credit before the flit arrived: tear the circuit
                 # down and buffer normally (Section IV.B).
-                self._terminate_pc(i, Termination.NO_CREDIT)
+                self._terminate_pc(cycle, i, Termination.NO_CREDIT)
                 return False
         self._traverse(cycle, i, vc, via="buf", arriving=flit)
         return True
@@ -596,6 +613,10 @@ class Router:
         if ip.last_out == out_port:
             stats.xbar_repeats += 1
         ip.last_out = out_port
+        probe = self._probe
+        if probe is not None:
+            probe.on_traverse(cycle, self.router_id, i, vc_id, out_port,
+                              via, read, flit)
         if self._pc_enabled:
             # Refresh fast path: a valid register already pointing at this
             # exact (in VC, output) connection is re-established unchanged
@@ -603,7 +624,10 @@ class Router:
             reg = ip.pc
             if not (reg.valid and reg.in_vc == vc_id
                     and reg.out_port == out_port and out.pc_holder == i):
-                self._establish_pc(i, vc_id, out_port)
+                self._establish_pc(cycle, i, vc_id, out_port)
+            elif probe is not None:
+                probe.on_pc_establish(cycle, self.router_id, i, vc_id,
+                                      out_port, True)
         # Crossbar occupancy: SA grants and streamed circuit followers
         # traverse next cycle, bypasses traverse now.
         delayed = via == "sa" or streamed
@@ -619,23 +643,28 @@ class Router:
 
     # -- pseudo-circuit bookkeeping -------------------------------------------
 
-    def _establish_pc(self, i: int, in_vc: int, out_port: int) -> None:
+    def _establish_pc(self, cycle: int, i: int, in_vc: int,
+                      out_port: int) -> None:
         ip = self.in_ports[i]
         reg = ip.pc
         out = self.out_ports[out_port]
         holder = out.pc_holder
         if holder not in (-1, i):
-            self._terminate_pc(holder, Termination.CONFLICT_OUTPUT)
+            self._terminate_pc(cycle, holder, Termination.CONFLICT_OUTPUT)
         if reg.valid and reg.out_port != out_port:
-            self._terminate_pc(i, Termination.CONFLICT_INPUT)
+            self._terminate_pc(cycle, i, Termination.CONFLICT_INPUT)
         refreshed = (reg.valid and reg.in_vc == in_vc
                      and reg.out_port == out_port)
         reg.establish(in_vc, out_port)
         out.pc_holder = i
         if not refreshed:
             self.stats.pc_established += 1
+        probe = self._probe
+        if probe is not None:
+            probe.on_pc_establish(cycle, self.router_id, i, in_vc, out_port,
+                                  refreshed)
 
-    def _terminate_pc(self, i: int, reason: Termination) -> None:
+    def _terminate_pc(self, cycle: int, i: int, reason: Termination) -> None:
         reg = self.in_ports[i].pc
         if not reg.valid:
             return
@@ -645,8 +674,12 @@ class Router:
             out.pc_holder = -1
         out.history.record_termination(i)
         self.stats.pc_terminations[reason] += 1
+        probe = self._probe
+        if probe is not None:
+            probe.on_pc_terminate(cycle, self.router_id, i, reg.out_port,
+                                  reason)
 
-    def _pc_maintenance(self) -> None:
+    def _pc_maintenance(self, cycle: int) -> None:
         """End-of-cycle pseudo-circuit upkeep, fused into one output pass:
         credit terminations on held outputs, speculative restoration on
         free ones (reference semantics: ``speculation.try_restore``).
@@ -679,7 +712,7 @@ class Router:
                         continue
                     break
                 else:
-                    self._terminate_pc(holder, Termination.NO_CREDIT)
+                    self._terminate_pc(cycle, holder, Termination.NO_CREDIT)
                 continue
             port_id = out.port_id
             if not cand_outs >> port_id & 1:
@@ -716,6 +749,9 @@ class Router:
             registers[chosen].restore()
             out.pc_holder = chosen
             self.stats.pc_restored += 1
+            probe = self._probe
+            if probe is not None:
+                probe.on_pc_restore(cycle, self.router_id, chosen, port_id)
 
     # -- introspection (tests) ------------------------------------------------
 

@@ -60,7 +60,8 @@ class Network:
                  seed: int = 1, stats: NetworkStats | None = None,
                  router_cls: type[Router] = Router,
                  active_set: bool = True,
-                 compiled_routing: bool = True):
+                 compiled_routing: bool = True,
+                 probe=None):
         self.topology = topology
         self.config = config
         if isinstance(routing, str):
@@ -73,6 +74,9 @@ class Network:
         self.rng = random.Random(seed)
         self.cycle = 0
         self._active = active_set
+        # Instrumentation null object: None unless bind_probe attaches one
+        # (see repro.instrument); the step loops pay one attribute test.
+        self.probe = None
         # Active sets, keyed by component id so members can be visited in
         # the same relative order as the exhaustive loops.
         self._work_routers: dict[int, Router] = {}
@@ -109,6 +113,20 @@ class Network:
                 nic.bind_scheduler(self._inject_nics, self._eject_nics)
             for link_id, link in enumerate(self.links):
                 link.bind(link_id, self._live_links)
+        if probe is not None:
+            self.bind_probe(probe)
+
+    def bind_probe(self, probe) -> None:
+        """Attach an instrumentation probe (see :mod:`repro.instrument`) to
+        the network and every component; call before running."""
+        self.probe = probe
+        for router in self.routers:
+            router._probe = probe
+        for link in self.links:
+            link._probe = probe
+        for nic in self.nics:
+            nic._probe = probe
+        probe.bind(self)
 
     # -- construction ---------------------------------------------------------
 
@@ -182,6 +200,9 @@ class Network:
     def _step_exhaustive(self) -> None:
         """Reference loop: touch every component every cycle."""
         cycle = self.cycle
+        probe = self.probe
+        if probe is not None:
+            probe.on_cycle_start(cycle, self)
         routers = self.routers
         for router in routers:
             router.deliver_credits(cycle)
@@ -206,6 +227,9 @@ class Network:
         phase snapshots at its own start.
         """
         cycle = self.cycle
+        probe = self.probe
+        if probe is not None:
+            probe.on_cycle_start(cycle, self)
         routers = self.routers
         nics = self.nics
         # The drained checks inline the components' *_active/has_work
@@ -377,7 +401,7 @@ def build_network(topology: Topology, routing: str = "xy",
                   vc_policy: str = "dynamic",
                   config: NetworkConfig | None = None,
                   seed: int = 1, active_set: bool = True,
-                  compiled_routing: bool = True,
+                  compiled_routing: bool = True, probe=None,
                   **config_overrides) -> Network:
     """Convenience constructor used by examples and the harness."""
     if config is None:
@@ -385,4 +409,5 @@ def build_network(topology: Topology, routing: str = "xy",
     elif config_overrides:
         raise ValueError("pass either config or keyword overrides, not both")
     return Network(topology, config, routing, vc_policy, seed=seed,
-                   active_set=active_set, compiled_routing=compiled_routing)
+                   active_set=active_set, compiled_routing=compiled_routing,
+                   probe=probe)

@@ -102,3 +102,27 @@ class TestExceptionSurfacing:
         assert clone.point == err.point
         assert clone.cause == err.cause
         assert str(clone) == str(err)
+
+    def test_sweep_point_error_embeds_manifest(self):
+        import pickle
+
+        bad = _point(topology="never-heard-of-it")
+        with pytest.raises(SweepPointError) as excinfo:
+            run_experiments([bad], max_workers=1)
+        err = excinfo.value
+        # The failing point's run manifest rides along: the config hash,
+        # seed and commit needed to reproduce the failure are in the
+        # message, and the manifest survives the worker pickle round-trip.
+        assert err.manifest is not None
+        assert err.manifest["config"]["topology"] == "never-heard-of-it"
+        assert err.manifest["seed"] == bad.seed
+        assert "run manifest:" in str(err)
+        assert err.manifest["config_sha256"] in str(err)
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.manifest == err.manifest
+        assert str(clone) == str(err)
+
+    def test_sweep_point_error_manifest_is_optional(self):
+        err = SweepPointError("p", "c")
+        assert err.manifest is None
+        assert "run manifest" not in str(err)

@@ -1,0 +1,61 @@
+"""Overhead gate: structural, bit-identity and timing checks."""
+
+import pytest
+
+from repro.instrument import FlitTracer, identity_check, overhead_gate
+from repro.instrument.overhead import (OverheadGateError, assert_probes_cold,
+                                       timing_gate)
+from repro.network.config import PSEUDO_SB, NetworkConfig
+from repro.network.simulator import build_network
+from repro.topology import make_topology
+
+
+def test_default_network_is_cold():
+    topo = make_topology("mesh", 4, 4, 1)
+    config = NetworkConfig(num_vcs=2, buffer_depth=2, pseudo=PSEUDO_SB)
+    assert_probes_cold(build_network(topo, config=config))
+
+
+def test_hot_probe_is_detected():
+    topo = make_topology("mesh", 4, 4, 1)
+    config = NetworkConfig(num_vcs=2, buffer_depth=2, pseudo=PSEUDO_SB)
+    net = build_network(topo, config=config, probe=FlitTracer())
+    with pytest.raises(OverheadGateError):
+        assert_probes_cold(net)
+
+
+def test_identity_check_passes():
+    report = identity_check(cycles=200)
+    assert report["stats_identical"]
+    assert report["traced_events"] > 0
+    assert sum(report["pc_terminations"].values()) > 0
+
+
+def test_overhead_gate_runs_quiet(capsys):
+    report = overhead_gate(cycles=200, show=False)
+    assert report["probes_cold"] and report["stats_identical"]
+    assert capsys.readouterr().out == ""
+
+
+WEIGHTS = {"a": 1, "b": 3}
+
+
+def test_timing_gate_passes_within_threshold():
+    fresh = [{"name": "a", "wall_s": 1.01}, {"name": "b", "wall_s": 3.02}]
+    previous = [{"name": "a", "wall_s": 1.0}, {"name": "b", "wall_s": 3.0}]
+    report = timing_gate(fresh, previous, WEIGHTS)
+    assert report["applied"]
+    assert report["overhead"] < 0.02
+
+
+def test_timing_gate_trips_on_regression():
+    fresh = [{"name": "a", "wall_s": 1.2}, {"name": "b", "wall_s": 3.6}]
+    previous = [{"name": "a", "wall_s": 1.0}, {"name": "b", "wall_s": 3.0}]
+    with pytest.raises(OverheadGateError):
+        timing_gate(fresh, previous, WEIGHTS)
+
+
+def test_timing_gate_without_comparable_workloads():
+    report = timing_gate([{"name": "new", "wall_s": 1.0}],
+                         [{"name": "old", "wall_s": 1.0}], {"new": 1})
+    assert not report["applied"]

@@ -81,6 +81,36 @@ class TestDerivedMetrics:
         assert s.latency_percentile(50) == 30
         assert s.latency_percentile(100) == 50
 
+    def test_percentile_empty_histogram(self):
+        assert math.isnan(NetworkStats().latency_percentile(50))
+
+    def test_percentile_single_sample(self):
+        s = NetworkStats()
+        s.record_ejection(ejected_packet(eject=42))
+        for pct in (0, 25, 50, 99.9, 100):
+            assert s.latency_percentile(pct) == 42
+
+    def test_percentile_clamps_out_of_range(self):
+        s = NetworkStats()
+        for lat in (10, 20, 30):
+            s.record_ejection(ejected_packet(eject=lat))
+        assert s.latency_percentile(-5) == 10
+        assert s.latency_percentile(250) == 30
+
+    def test_percentile_matches_sample_list_semantics(self):
+        # The histogram walk must reproduce the pre-histogram
+        # implementation: sorted(samples)[round(pct/100 * (n-1))], with
+        # duplicated latencies collapsing into one histogram bucket.
+        latencies = [10, 10, 10, 20, 30, 30, 40, 55, 55, 70, 90]
+        s = NetworkStats()
+        for lat in latencies:
+            s.record_ejection(ejected_packet(eject=lat))
+        ordered = sorted(latencies)
+        n = len(ordered)
+        for pct in (0, 10, 25, 33.3, 50, 66.7, 75, 90, 95, 100):
+            expected = ordered[min(n - 1, max(0, round(pct / 100 * (n - 1))))]
+            assert s.latency_percentile(pct) == expected, pct
+
     def test_summary_keys(self):
         summary = NetworkStats().summary()
         for key in ("avg_latency", "reusability", "e2e_locality",
