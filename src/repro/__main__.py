@@ -14,6 +14,15 @@ Commands:
 * ``bench`` — time the canonical simulator workloads and write
   ``BENCH_core.json`` (the perf trajectory file, see README);
   ``--gate`` additionally runs the instrumentation-overhead gate;
+* ``compare`` — diff two metrics/bench JSON documents into a regression
+  report (exit 1 when any metric regressed past its threshold), e.g.::
+
+      python -m repro compare old.metrics.json new.metrics.json
+
+``run``, ``sweep`` and ``bench`` accept ``--check`` to attach the full
+online-monitor suite (``repro.monitor``): invariant violations abort the
+run, and a ``*.metrics.json`` document is written next to ``--out`` for
+later ``compare`` calls.
 * ``trace`` — run one experiment with the full instrumentation stack and
   write the flit-lifecycle trace (JSONL + Chrome ``trace_event`` JSON,
   loadable in Perfetto), the windowed per-router time series (CSV +
@@ -31,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 
 from .harness.bench import run_bench
@@ -99,6 +109,7 @@ def _cmd_run(args) -> int:
         return 2
     rows = []
     out_rows = []
+    checked = []
     schemes = (ALL_SCHEMES if args.scheme == "all"
                else [SCHEMES[args.scheme]])
     for scheme in schemes:
@@ -107,12 +118,15 @@ def _cmd_run(args) -> int:
             tracer = FlitTracer(max_events=args.max_events)
             series = TimeSeriesProbe(window=args.window)
             probe = CompositeProbe(tracer, series)
-        res = run_experiment(cfg.with_scheme(scheme), probe=probe)
+        res = run_experiment(cfg.with_scheme(scheme), probe=probe,
+                             check=args.check)
         if tracer is not None and args.trace is not None:
             _write_trace(tracer, args.trace, res.manifest)
         if series is not None and args.series is not None:
             series.flush()
             _write_series(series, args.series)
+        if res.monitor_report is not None:
+            checked.append((scheme.label, res.monitor_report))
         rows.append((scheme.label, res.avg_latency, res.reusability,
                      res.buffer_bypass_rate,
                      res.energy_pj / max(1, res.flit_hops)))
@@ -124,8 +138,24 @@ def _cmd_run(args) -> int:
                          "manifest": res.manifest})
     print_table(cfg.label,
                 ["scheme", "latency", "reuse", "buf bypass", "pJ/hop"], rows)
+    if checked:
+        _report_checked(checked, args.out)
     _persist(args.out, {"command": "run", "label": cfg.label}, out_rows)
     return 0
+
+
+def _report_checked(checked, out: str | None) -> None:
+    """Print the monitor verdict; write the metrics-set next to --out."""
+    from .monitor import metrics_path, metrics_set, write_metrics
+    for label, doc in checked:
+        monitors = doc["monitors"]
+        watchdog = monitors.get("watchdog", {})
+        print(f"monitors [{label}]: {doc['violation_count']} violations, "
+              f"{len(monitors)} monitors, "
+              f"max stall {watchdog.get('max_stall_cycles', 0)} cycles")
+    if out is not None:
+        path = write_metrics(metrics_path(out), metrics_set(checked))
+        print(f"wrote {path}")
 
 
 def _write_trace(tracer: FlitTracer, prefix: str,
@@ -165,13 +195,36 @@ def _cmd_sweep(args) -> int:
               "buffers": (sweep_buffer_depth, "buffer_depth"),
               "load": (sweep_load, "load")}
     fn, key = sweeps[args.kind]
-    rows = fn(max_workers=args.workers)
+    rows = fn(max_workers=args.workers, check=args.check)
+    if args.check:
+        print(f"monitors: all {2 * len(rows)} sweep points "
+              f"violation-free")
     print_table(f"sensitivity sweep: {args.kind}",
                 [key, "baseline", "Pseudo+S+B", "reduction", "reuse"],
                 [(r[key], r["baseline_latency"], r["latency"],
                   r["reduction"], r["reusability"]) for r in rows])
     _persist(args.out, {"command": "sweep", "kind": args.kind}, rows)
     return 0
+
+
+def _cmd_compare(args) -> int:
+    from .monitor import compare_files, render_report
+    overrides = {}
+    for spec in args.threshold or ():
+        pattern, _, value = spec.partition("=")
+        if not value:
+            print(f"error: --threshold expects PATTERN=VALUE, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        overrides[pattern] = float(value)
+    report = compare_files(args.old, args.new, overrides or None)
+    print(render_report(report, show_ok=args.show_ok))
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 1 if report["regressed"] else 0
 
 
 def main(argv=None) -> int:
@@ -220,6 +273,9 @@ def main(argv=None) -> int:
                             "(needs a single --scheme)")
     run_p.add_argument("--out", default=None,
                        help="also write rows + manifest to this JSON")
+    run_p.add_argument("--check", action="store_true",
+                       help="attach the online invariant monitors; write "
+                            "a *.metrics.json doc next to --out")
 
     trace_p = sub.add_parser(
         "trace", help="run one experiment fully instrumented; write trace, "
@@ -234,6 +290,9 @@ def main(argv=None) -> int:
     sweep_p.add_argument("--workers", type=int, default=None)
     sweep_p.add_argument("--out", default=None,
                          help="also write rows + manifest to this JSON")
+    sweep_p.add_argument("--check", action="store_true",
+                         help="attach the online invariant monitors to "
+                              "every sweep point")
 
     bench_p = sub.add_parser(
         "bench", help="time canonical workloads, write BENCH_core.json")
@@ -250,6 +309,23 @@ def main(argv=None) -> int:
                          help="run the instrumentation-overhead gate: "
                               "probes cold, stats bit-identical, walls "
                               "within 2%% of the previous report")
+    bench_p.add_argument("--check", action="store_true",
+                         help="run the monitored self-check and write its "
+                              "metrics doc next to the report")
+
+    compare_p = sub.add_parser(
+        "compare", help="regression report between two metrics/bench JSON "
+                        "documents (exit 1 on regression)")
+    compare_p.add_argument("old", help="baseline document (JSON)")
+    compare_p.add_argument("new", help="candidate document (JSON)")
+    compare_p.add_argument("--out", default=None,
+                           help="also write the report JSON here")
+    compare_p.add_argument("--threshold", action="append", default=None,
+                           metavar="PATTERN=VALUE",
+                           help="override the tolerance for metrics "
+                                "matching fnmatch PATTERN (repeatable)")
+    compare_p.add_argument("--show-ok", action="store_true",
+                           help="note explicitly when nothing moved")
 
     args = parser.parse_args(argv)
     if args.command in ALL_FIGURES:
@@ -267,8 +343,11 @@ def main(argv=None) -> int:
         if args.repeats is not None:
             kwargs["repeats"] = args.repeats
         run_bench(out_path=None if args.out == "-" else args.out,
-                  profile=args.profile, gate=args.gate, **kwargs)
+                  profile=args.profile, gate=args.gate, check=args.check,
+                  **kwargs)
         return 0
+    if args.command == "compare":
+        return _cmd_compare(args)
     return _cmd_sweep(args)
 
 

@@ -172,8 +172,13 @@ def profile_workloads(cycles: int = DEFAULT_CYCLES, top: int = 20) -> None:
 def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
               out_path: str | None = "BENCH_core.json",
               show: bool = True, profile: bool = False,
-              gate: bool = False) -> dict:
-    """Time every canonical workload; optionally write ``BENCH_core.json``."""
+              gate: bool = False, check: bool = False) -> dict:
+    """Time every canonical workload; optionally write ``BENCH_core.json``.
+
+    ``check=True`` additionally runs the monitored self-check
+    (``repro.monitor.self_check``) on the same canonical rates and writes
+    its metrics document next to the report (``*.metrics.json``).
+    """
     previous = None
     if gate and out_path is not None and os.path.exists(out_path):
         with open(out_path, encoding="utf-8") as fh:
@@ -244,6 +249,20 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
         elif show:
             print("timing gate: skipped (no previous report at this scale)")
         report["overhead_gate"] = gate_report
+    if check:
+        from ..monitor import metrics_path, self_check, write_metrics
+        check_report = self_check(cycles=min(cycles, 600), show=show)
+        report["self_check"] = {
+            "runs": len(check_report["runs"]),
+            "violations": sum(run["violation_count"]
+                              for run in check_report["runs"]),
+            "stats_identical": all(run["stats_identical"]
+                                   for run in check_report["runs"]),
+        }
+        if out_path is not None:
+            path = write_metrics(metrics_path(out_path), check_report)
+            if show:
+                print(f"wrote {path}")
     if out_path is not None:
         with open(out_path, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2)

@@ -87,10 +87,14 @@ class Result:
     # equality so results compare by metrics regardless of which machine
     # or commit produced them.
     manifest: dict | None = field(default=None, compare=False)
+    # Metrics document from a ``check=True`` run (repro.monitor); absent
+    # on unchecked runs. Excluded from equality for the same reason.
+    monitor_report: dict | None = field(default=None, compare=False)
 
     @classmethod
     def from_network(cls, config: ExperimentConfig, net: Network,
-                     manifest: dict | None = None) -> "Result":
+                     manifest: dict | None = None,
+                     monitor_report: dict | None = None) -> "Result":
         stats = net.stats
         energy = DEFAULT_ENERGY_MODEL.router_energy(stats)
         return cls(
@@ -108,6 +112,7 @@ class Result:
             energy_breakdown=energy,
             pc_restored=stats.pc_restored,
             manifest=manifest,
+            monitor_report=monitor_report,
         )
 
 
@@ -133,17 +138,28 @@ def build_network(config: ExperimentConfig, probe=None) -> Network:
 
 
 def run_experiment(config: ExperimentConfig, *, use_cache: bool = True,
-                   probe=None) -> Result:
+                   probe=None, check: bool = False) -> Result:
     """Simulate one configuration (memoized per process).
 
     ``probe`` attaches an instrumentation probe for this run; probed runs
     never read or populate the memo (the probe observes the simulation, so
-    a cached result would silently skip it).
+    a cached result would silently skip it). ``check=True`` additionally
+    attaches the full monitor suite (``repro.monitor.default_registry``,
+    strict: the first invariant violation raises) and stores its metrics
+    document on ``Result.monitor_report``.
     """
-    if probe is not None:
+    if probe is not None or check:
         use_cache = False
     if use_cache and config in _run_cache:
         return _run_cache[config]
+    registry = None
+    if check:
+        from ..instrument import CompositeProbe
+        from ..monitor import default_registry
+        registry = default_registry(strict=True)
+        monitor_probe = registry.probe()
+        probe = (monitor_probe if probe is None
+                 else CompositeProbe(probe, monitor_probe))
     start = time.perf_counter()
     net = build_network(config, probe=probe)
     if config.benchmark is not None:
@@ -158,10 +174,14 @@ def run_experiment(config: ExperimentConfig, *, use_cache: bool = True,
         net.run(config.synth_cycles, traffic)
         net.drain(max_cycles=500_000)
     net.check_invariants()
+    monitor_report = None
+    if registry is not None:
+        monitor_report = registry.finish(net)
     wall = time.perf_counter() - start
     manifest = run_manifest(config, seed=config.seed, cycles=net.cycle,
                             wall_s=wall)
-    result = Result.from_network(config, net, manifest=manifest)
+    result = Result.from_network(config, net, manifest=manifest,
+                                 monitor_report=monitor_report)
     if use_cache:
         _run_cache[config] = result
     return result

@@ -73,10 +73,10 @@ class SweepPointError(RuntimeError):
         return (SweepPointError, (self.point, self.cause, self.manifest))
 
 
-def _run_point(cfg: ExperimentConfig) -> Result:
+def _run_point(cfg: ExperimentConfig, check: bool = False) -> Result:
     """Simulate one point, labelling any failure with the point's config."""
     try:
-        return run_experiment(cfg)
+        return run_experiment(cfg, check=check)
     except Exception as exc:
         try:
             manifest = run_manifest(cfg, seed=cfg.seed)
@@ -88,14 +88,16 @@ def _run_point(cfg: ExperimentConfig) -> Result:
         ) from exc
 
 
-def _run_chunk(configs: Sequence[ExperimentConfig]) -> list[Result]:
+def _run_chunk(configs: Sequence[ExperimentConfig],
+               check: bool = False) -> list[Result]:
     """Worker entry point: simulate one chunk of configs, in order."""
-    return [_run_point(cfg) for cfg in configs]
+    return [_run_point(cfg, check) for cfg in configs]
 
 
 def run_experiments(configs: Iterable[ExperimentConfig],
                     max_workers: int | None = None,
-                    chunk_size: int | None = None) -> list[Result]:
+                    chunk_size: int | None = None,
+                    check: bool = False) -> list[Result]:
     """Run many experiment points, returning results in input order.
 
     Cached points are answered from the in-process memo without touching
@@ -103,12 +105,17 @@ def run_experiments(configs: Iterable[ExperimentConfig],
     round-trips) and dispatched. With ``max_workers`` of 1 — or a single
     uncached point — everything runs inline, which keeps tests and
     single-core machines free of pool overhead.
+
+    ``check=True`` attaches the full monitor suite to every point
+    (strict mode: the first invariant violation surfaces as a
+    ``SweepPointError`` naming the point). Checked runs bypass the memo
+    entirely — a cached result would skip the monitors.
     """
     configs = list(configs)
     results: list[Result | None] = [None] * len(configs)
     todo: list[tuple[int, ExperimentConfig]] = []
     for idx, cfg in enumerate(configs):
-        hit = cached(cfg)
+        hit = cached(cfg) if not check else None
         if hit is not None:
             results[idx] = hit
         else:
@@ -119,7 +126,7 @@ def run_experiments(configs: Iterable[ExperimentConfig],
         max_workers = default_workers()
     if max_workers <= 1 or len(todo) == 1:
         for idx, cfg in todo:
-            results[idx] = _run_point(cfg)
+            results[idx] = _run_point(cfg, check)
         return results
     if chunk_size is None:
         # ~4 chunks per worker balances load without excessive pickling.
@@ -128,12 +135,14 @@ def run_experiments(configs: Iterable[ExperimentConfig],
               for lo in range(0, len(todo), chunk_size)]
     workers = min(max_workers, len(chunks))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(_run_chunk, [cfg for _, cfg in chunk])
+        futures = [pool.submit(_run_chunk, [cfg for _, cfg in chunk],
+                               check)
                    for chunk in chunks]
         for chunk, future in zip(chunks, futures):
             for (idx, _), result in zip(chunk, future.result()):
                 results[idx] = result
-                cache_result(result)
+                if not check:
+                    cache_result(result)
     return results
 
 

@@ -34,13 +34,15 @@ def _synthetic(**overrides) -> ExperimentConfig:
     return ExperimentConfig(**defaults)
 
 
-def _rows(key: str, points: list, max_workers: int | None) -> list[dict]:
+def _rows(key: str, points: list, max_workers: int | None,
+          check: bool = False) -> list[dict]:
     """Simulate baseline + Pseudo+S+B for every point, merged in order."""
     configs = []
     for _, cfg in points:
         configs.append(cfg.with_scheme(BASELINE))
         configs.append(cfg.with_scheme(PSEUDO_SB))
-    results = run_experiments(configs, max_workers=max_workers)
+    results = run_experiments(configs, max_workers=max_workers,
+                              check=check)
     rows = []
     for k, (value, _) in enumerate(points):
         base, full = results[2 * k], results[2 * k + 1]
@@ -56,30 +58,30 @@ def _rows(key: str, points: list, max_workers: int | None) -> list[dict]:
 
 
 def sweep_vcs(vc_counts=(2, 4, 8), max_workers: int | None = None,
-              **overrides) -> list[dict]:
+              check: bool = False, **overrides) -> list[dict]:
     sweep_seed = overrides.pop("seed", 1)
     points = [(n, _synthetic(num_vcs=n,
                              seed=derive_seed(sweep_seed, "vcs", n),
                              **overrides))
               for n in vc_counts]
-    return _rows("num_vcs", points, max_workers)
+    return _rows("num_vcs", points, max_workers, check)
 
 
 def sweep_buffer_depth(depths=(2, 4, 8), max_workers: int | None = None,
-                       **overrides) -> list[dict]:
+                       check: bool = False, **overrides) -> list[dict]:
     sweep_seed = overrides.pop("seed", 1)
     points = [(d, _synthetic(buffer_depth=d,
                              seed=derive_seed(sweep_seed, "buffers", d),
                              **overrides))
               for d in depths]
-    return _rows("buffer_depth", points, max_workers)
+    return _rows("buffer_depth", points, max_workers, check)
 
 
 def sweep_load(loads=(0.05, 0.15, 0.25), max_workers: int | None = None,
-               **overrides) -> list[dict]:
+               check: bool = False, **overrides) -> list[dict]:
     sweep_seed = overrides.pop("seed", 1)
     points = [(load, _synthetic(rate=load,
                                 seed=derive_seed(sweep_seed, "load", load),
                                 **overrides))
               for load in loads]
-    return _rows("load", points, max_workers)
+    return _rows("load", points, max_workers, check)

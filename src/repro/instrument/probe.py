@@ -19,6 +19,9 @@ live :class:`~repro.network.flit.Flit` objects, read-only):
                           ``'pc'`` (SA bypass) or ``'buf'`` (buffer bypass);
                           ``read`` tells whether a buffer read happened
 ``on_link``               flit handed to the downstream input port (LT done)
+``on_credit_restore``     credit return landed in the upstream counter of
+                          (router, port, vc); ``router == -1`` marks the
+                          NIC ejection side, with ``port`` the terminal id
 ``on_pc_establish``       pseudo-circuit latched (``refreshed`` = re-latch of
                           the identical connection)
 ``on_pc_restore``         speculative restoration of an invalidated circuit
@@ -60,6 +63,10 @@ class Probe:
 
     def on_link(self, cycle: int, link: int, router: int, in_port: int,
                 flit) -> None:
+        pass
+
+    def on_credit_restore(self, cycle: int, router: int, port: int,
+                          vc: int) -> None:
         pass
 
     # -- pseudo-circuit lifecycle ---------------------------------------------
@@ -118,6 +125,10 @@ class CompositeProbe(Probe):
     def on_link(self, cycle, link, router, in_port, flit):
         for p in self.probes:
             p.on_link(cycle, link, router, in_port, flit)
+
+    def on_credit_restore(self, cycle, router, port, vc):
+        for p in self.probes:
+            p.on_credit_restore(cycle, router, port, vc)
 
     def on_pc_establish(self, cycle, router, in_port, in_vc, out_port,
                         refreshed):

@@ -22,6 +22,8 @@ JSONL schema — every record has ``ev`` and ``cycle``; the rest varies:
                    read, pid, fidx`` — ``via='pc'`` is an SA bypass,
                    ``via='buf'`` a buffer bypass (skips BW *and* SA)
 ``link``           ``link, router, port, pid, fidx`` (arrival downstream)
+``credit_restore`` ``router, port, vc`` (credit landed upstream;
+                   ``router=-1`` is the NIC ejection side)
 ``pc_establish``   ``router, port, in_vc, out_port, refreshed``
 ``pc_restore``     ``router, port, out_port``
 ``pc_terminate``   ``router, port, out_port, reason`` (Termination value)
@@ -93,6 +95,10 @@ class FlitTracer(Probe):
         self._emit({"ev": "link", "cycle": cycle, "link": link,
                     "router": router, "port": in_port,
                     "pid": flit.packet.pid, "fidx": flit.index})
+
+    def on_credit_restore(self, cycle, router, port, vc):
+        self._emit({"ev": "credit_restore", "cycle": cycle,
+                    "router": router, "port": port, "vc": vc})
 
     def on_pc_establish(self, cycle, router, in_port, in_vc, out_port,
                         refreshed):

@@ -1,0 +1,56 @@
+"""Self-checking observability: online invariant monitors.
+
+Monitors are probes (``repro.instrument``) that maintain shadow models of
+the network's invariants and verify them at cycle boundaries — the
+simulator proves itself correct while it runs, at zero cost when no
+monitor is attached. ``default_registry()`` bundles the full suite;
+``self_check`` is the CI acceptance run; ``compare_docs`` turns two runs'
+metrics documents into a regression report.
+"""
+
+from ..core.violation import InvariantViolation
+from .base import Monitor
+from .check import SelfCheckError, self_check
+from .conservation import ConservationMonitor
+from .credit import CreditMonitor
+from .pc import PseudoCircuitMonitor
+from .registry import (
+    METRICS_SCHEMA,
+    METRICS_SET_SCHEMA,
+    MetricsRegistry,
+    default_registry,
+    metrics_path,
+    metrics_set,
+    write_metrics,
+)
+from .regression import (
+    REPORT_SCHEMA,
+    compare_docs,
+    compare_files,
+    flatten,
+    render_report,
+)
+from .watchdog import ProgressWatchdog
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "METRICS_SET_SCHEMA",
+    "REPORT_SCHEMA",
+    "ConservationMonitor",
+    "CreditMonitor",
+    "InvariantViolation",
+    "MetricsRegistry",
+    "Monitor",
+    "ProgressWatchdog",
+    "PseudoCircuitMonitor",
+    "SelfCheckError",
+    "compare_docs",
+    "compare_files",
+    "default_registry",
+    "flatten",
+    "metrics_path",
+    "metrics_set",
+    "render_report",
+    "self_check",
+    "write_metrics",
+]

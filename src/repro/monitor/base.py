@@ -1,0 +1,49 @@
+"""Monitor base class: a probe that accumulates structured violations.
+
+A monitor is an online checker: it consumes the same event stream as the
+tracers in ``repro.instrument`` but instead of recording it, it maintains a
+shadow model of some invariant and compares it against the live network at
+cycle boundaries (``on_cycle_start`` fires before any event of a cycle, so
+the network state it sees is exactly the end-of-previous-cycle state).
+
+``strict=True`` (the default) raises the first
+:class:`~repro.core.violation.InvariantViolation` immediately — the mode
+used by ``--check`` runs and CI. ``strict=False`` records violations in
+``self.violations`` and keeps going, which is what the fault-injection
+tests use to assert *which* rules fired.
+"""
+
+from __future__ import annotations
+
+from ..core.violation import InvariantViolation
+from ..instrument.probe import Probe
+
+
+class Monitor(Probe):
+    """Base online invariant monitor; subclasses set ``name`` and override
+    the probe hooks they need."""
+
+    name = "monitor"
+
+    def __init__(self, strict: bool = True):
+        self.strict = strict
+        self.violations: list[InvariantViolation] = []
+        self._network = None
+
+    def bind(self, network) -> None:
+        self._network = network
+
+    def violation(self, rule: str, message: str = "", **context) -> None:
+        """Record a violation; raise it in strict mode."""
+        err = InvariantViolation(rule, message, monitor=self.name,
+                                 **context)
+        self.violations.append(err)
+        if self.strict:
+            raise err
+
+    def finish(self, network) -> None:
+        """Run the end-of-simulation checks (network ideally drained)."""
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary of what this monitor observed."""
+        return {"violations": len(self.violations)}

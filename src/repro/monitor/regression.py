@@ -1,0 +1,170 @@
+"""Run-to-run regression reports: diff two metrics/bench documents.
+
+``compare_docs`` flattens two JSON documents (metrics documents from
+``--check`` runs, ``BENCH_core.json`` bench reports, or any JSON with
+numeric leaves) into dotted-key leaves, matches keys against a built-in
+threshold table, and classifies every shared metric as *ok*, *improved*
+or *regressed*. The ``python -m repro compare`` CLI prints the report and
+exits non-zero when anything regressed — the CI contract.
+
+Threshold rules (first ``fnmatch`` match wins; ``--threshold
+PATTERN=VALUE`` overrides the tolerance, direction stays built-in):
+
+=====================================  =========  =======================
+pattern                                tolerance  better direction
+=====================================  =========  =======================
+``*violation*``                        0 (abs)    lower
+``*wall_s`` / ``*overhead*``           10% (rel)  lower
+``*latency*``                          3% (rel)   lower
+``*reusability*`` / ``*bypass_rate*``
+/ ``*locality*``                       0.02 (abs) higher
+``*speedup*``                          10% (rel)  higher
+anything else                          exact      neutral (either way)
+=====================================  =========  =======================
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from fnmatch import fnmatch
+
+REPORT_SCHEMA = "repro.regression-report/1"
+
+#: (pattern, tolerance, relative?, better: 'lower'|'higher'|'neutral')
+DEFAULT_RULES: list[tuple[str, float, bool, str]] = [
+    ("*violation*", 0.0, False, "lower"),
+    ("*wall_s", 0.10, True, "lower"),
+    ("*overhead*", 0.10, True, "lower"),
+    ("*latency*", 0.03, True, "lower"),
+    ("*reusability*", 0.02, False, "higher"),
+    ("*bypass_rate*", 0.02, False, "higher"),
+    ("*locality*", 0.02, False, "higher"),
+    ("*speedup*", 0.10, True, "higher"),
+    ("*", 0.0, False, "neutral"),
+]
+
+#: Keys that identify a run rather than measure it — never compared.
+_IDENTITY_KEYS = ("meta.", "manifest.", ".git_sha", ".generated_unix",
+                  ".python", ".platform", ".hostname", "schema")
+
+
+def flatten(doc, prefix: str = "") -> dict[str, float]:
+    """Dotted-path -> numeric leaf. Bools, NaNs, strings are skipped;
+    lists of dicts index by a ``name``/``label`` member when present."""
+    out: dict[str, float] = {}
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten(value, path))
+    elif isinstance(doc, list):
+        for idx, value in enumerate(doc):
+            tag = str(idx)
+            if isinstance(value, dict):
+                tag = str(value.get("name") or value.get("label") or idx)
+            out.update(flatten(value, f"{prefix}.{tag}"
+                               if prefix else tag))
+    elif isinstance(doc, bool):
+        pass
+    elif isinstance(doc, (int, float)):
+        if not (isinstance(doc, float) and math.isnan(doc)):
+            out[prefix] = float(doc)
+    return out
+
+
+def _rule_for(key: str, rules) -> tuple[float, bool, str]:
+    for pattern, tolerance, relative, better in rules:
+        if fnmatch(key, pattern):
+            return tolerance, relative, better
+    return 0.0, False, "neutral"
+
+
+def build_rules(overrides: dict[str, float] | None = None):
+    """The default rule table with per-pattern tolerance overrides
+    prepended (direction comes from the first built-in match)."""
+    rules = list(DEFAULT_RULES)
+    if overrides:
+        extra = []
+        for pattern, tolerance in overrides.items():
+            _, relative, better = _rule_for(pattern, DEFAULT_RULES)
+            extra.append((pattern, tolerance, relative, better))
+        rules = extra + rules
+    return rules
+
+
+def compare_docs(old: dict, new: dict,
+                 overrides: dict[str, float] | None = None) -> dict:
+    """Diff two flattened documents into a regression report."""
+    rules = build_rules(overrides)
+    old_flat = flatten(old)
+    new_flat = flatten(new)
+    rows = []
+    counts = {"ok": 0, "improved": 0, "regressed": 0}
+    for key in sorted(old_flat.keys() & new_flat.keys()):
+        if any(tag in key for tag in _IDENTITY_KEYS):
+            continue
+        before, after = old_flat[key], new_flat[key]
+        tolerance, relative, better = _rule_for(key, rules)
+        delta = after - before
+        if relative:
+            scale = abs(before) if before else 1.0
+            exceeds = abs(delta) / scale > tolerance
+        else:
+            exceeds = abs(delta) > tolerance
+        if not exceeds:
+            status = "ok"
+        elif better == "neutral":
+            status = "regressed"
+        elif (delta < 0) == (better == "lower"):
+            status = "improved"
+        else:
+            status = "regressed"
+        counts[status] += 1
+        if status != "ok":
+            rows.append({"metric": key, "before": before, "after": after,
+                         "delta": round(delta, 6), "status": status,
+                         "better": better})
+    missing = sorted(old_flat.keys() - new_flat.keys())
+    added = sorted(new_flat.keys() - old_flat.keys())
+    return {
+        "schema": REPORT_SCHEMA,
+        "compared": sum(counts.values()),
+        "ok": counts["ok"],
+        "improved": counts["improved"],
+        "regressed": counts["regressed"],
+        "rows": rows,
+        "missing_metrics": [k for k in missing
+                            if not any(t in k for t in _IDENTITY_KEYS)],
+        "added_metrics": [k for k in added
+                          if not any(t in k for t in _IDENTITY_KEYS)],
+    }
+
+
+def compare_files(old_path: str, new_path: str,
+                  overrides: dict[str, float] | None = None) -> dict:
+    with open(old_path, encoding="utf-8") as fh:
+        old = json.load(fh)
+    with open(new_path, encoding="utf-8") as fh:
+        new = json.load(fh)
+    return compare_docs(old, new, overrides)
+
+
+def render_report(report: dict, show_ok: bool = False) -> str:
+    """Human-readable regression report for the terminal / CI log."""
+    lines = [f"compared {report['compared']} metrics: "
+             f"{report['ok']} ok, {report['improved']} improved, "
+             f"{report['regressed']} regressed"]
+    for row in report["rows"]:
+        mark = "+" if row["status"] == "improved" else "!"
+        lines.append(
+            f"  {mark} {row['metric']}: {row['before']:g} -> "
+            f"{row['after']:g} ({row['delta']:+g}, better="
+            f"{row['better']})")
+    if report["missing_metrics"]:
+        lines.append(f"  missing in new: "
+                     f"{', '.join(report['missing_metrics'][:8])}"
+                     + (" ..." if len(report["missing_metrics"]) > 8
+                        else ""))
+    if show_ok and not report["rows"]:
+        lines.append("  no metric moved beyond its threshold")
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Progress watchdog: deadlock, livelock and per-VC starvation detection.
+
+Global progress is any crossbar traversal or packet ejection. When flits
+are in flight but no progress has happened for ``stall_limit`` executed
+cycles, the network is either deadlocked (flits parked forever, e.g. a
+credit loss) or livelocked (activity without delivery); both raise a
+``deadlock`` violation. Per-VC starvation tracks how long each occupied
+(router, port, vc) buffer has gone without a read — a flit sitting longer
+than ``starve_limit`` cycles raises ``starvation``.
+
+Quiescence fast-forwards (see ``repro.network.simulator``) jump the clock
+across provably event-free stretches — every remaining event there is
+time-scheduled and will fire, so skipped cycles can neither stall nor
+starve. ``on_cycle_start`` detects the jump and shifts all watermarks
+forward by its size, so the limits count *executed* cycles only.
+"""
+
+from __future__ import annotations
+
+from .base import Monitor
+
+
+class ProgressWatchdog(Monitor):
+    """Detect deadlock/livelock and per-VC starvation online."""
+
+    name = "watchdog"
+
+    def __init__(self, strict: bool = True, stall_limit: int = 1000,
+                 starve_limit: int = 2000, scan_every: int = 64):
+        super().__init__(strict)
+        self.stall_limit = stall_limit
+        self.starve_limit = starve_limit
+        self.scan_every = scan_every
+        self.in_flight_packets = 0
+        self.max_stall = 0
+        self.max_wait = 0
+        self.scans = 0
+        self._last_progress = 0
+        self._prev_cycle = -1
+        # (router, port, vc) -> buffered flit count.
+        self._occ: dict[tuple[int, int, int], int] = {}
+        # (router, port, vc) -> cycle of the last read (or first write
+        # while empty) — the waiting clock for starvation.
+        self._last_seen: dict[tuple[int, int, int], int] = {}
+
+    def bind(self, network):
+        super().bind(network)
+        self._last_progress = network.cycle
+        self._prev_cycle = network.cycle - 1
+
+    # -- progress tracking ----------------------------------------------------
+
+    def on_inject(self, cycle, terminal, packet):
+        self.in_flight_packets += 1
+
+    def on_eject(self, cycle, terminal, packet):
+        self.in_flight_packets -= 1
+        self._last_progress = cycle
+
+    def on_traverse(self, cycle, router, in_port, vc, out_port, via, read,
+                    flit):
+        self._last_progress = cycle
+        if read:
+            key = (router, in_port, vc)
+            occ = self._occ.get(key, 0) - 1
+            if occ > 0:
+                self._occ[key] = occ
+                self._last_seen[key] = cycle
+            else:
+                self._occ.pop(key, None)
+                self._last_seen.pop(key, None)
+
+    def on_buffer_write(self, cycle, router, in_port, vc, flit):
+        key = (router, in_port, vc)
+        occ = self._occ.get(key, 0)
+        self._occ[key] = occ + 1
+        if occ == 0:
+            self._last_seen[key] = cycle
+
+    # -- cycle-boundary checks ------------------------------------------------
+
+    def on_cycle_start(self, cycle, network):
+        prev = self._prev_cycle
+        self._prev_cycle = cycle
+        jump = cycle - prev - 1
+        if jump > 0:
+            # Fast-forwarded cycles are provably event-free: shift every
+            # watermark so they count for nothing.
+            self._last_progress += jump
+            if self._last_seen:
+                for key in self._last_seen:
+                    self._last_seen[key] += jump
+        if self.in_flight_packets > 0:
+            stall = cycle - self._last_progress
+            if stall > self.max_stall:
+                self.max_stall = stall
+            if stall > self.stall_limit:
+                self.violation(
+                    "deadlock",
+                    f"{self.in_flight_packets} packets in flight but no "
+                    f"traversal or ejection for {stall} cycles",
+                    cycle=cycle, expected=f"<= {self.stall_limit}",
+                    actual=stall)
+                self._last_progress = cycle  # re-arm (non-strict mode)
+        if self.scan_every and cycle % self.scan_every == 0:
+            self._scan(cycle)
+
+    def _scan(self, cycle):
+        self.scans += 1
+        last_seen = self._last_seen
+        if not last_seen:
+            return
+        limit = self.starve_limit
+        max_wait = self.max_wait
+        starved = None
+        for key, seen in last_seen.items():
+            wait = cycle - seen
+            if wait > max_wait:
+                max_wait = wait
+                if wait > limit:
+                    starved = (key, wait)
+        self.max_wait = max_wait
+        if starved is not None:
+            (router, port, vc), wait = starved
+            self._last_seen[(router, port, vc)] = cycle  # re-arm
+            self.violation(
+                "starvation",
+                f"buffered flit not read for {wait} cycles",
+                cycle=cycle, router=router, port=port, vc=vc,
+                expected=f"<= {limit}", actual=wait)
+
+    def finish(self, network):
+        if network.quiescent() and self.in_flight_packets > 0:
+            self.violation(
+                "deadlock",
+                f"quiescent network with {self.in_flight_packets} "
+                f"packets never ejected",
+                cycle=network.cycle, expected=0,
+                actual=self.in_flight_packets)
+
+    def snapshot(self) -> dict:
+        return {
+            "in_flight_packets": self.in_flight_packets,
+            "max_stall_cycles": self.max_stall,
+            "max_wait_cycles": self.max_wait,
+            "stall_limit": self.stall_limit,
+            "starve_limit": self.starve_limit,
+            "scans": self.scans,
+            "violations": len(self.violations),
+        }

@@ -5,41 +5,69 @@ slots remain at the matching downstream input VC. Sending a flit consumes one
 credit; the downstream router returns a credit when the flit leaves (or
 bypasses) its buffer. Credit return travels on a dedicated back channel with
 a configurable delay.
+
+Credit failures raise :class:`CreditError`, a structured
+:class:`~repro.core.violation.InvariantViolation` carrying the
+(router, port, vc) the counter guards — wired in at construction via
+``where`` — so an under/overflow deep inside a run names the exact edge.
+The cycle is filled in by the call sites that know it (routers, NICs).
 """
 
 from __future__ import annotations
 
 from collections import deque
 
+from ..core.violation import InvariantViolation
 
-class CreditError(RuntimeError):
+
+class CreditError(InvariantViolation):
     """Credit under/overflow: a flow-control invariant was violated."""
 
 
 class CreditCounter:
-    """Credits for one (output port, VC) pair."""
+    """Credits for one (output port, VC) pair.
 
-    __slots__ = ("limit", "count")
+    ``where`` is the optional ``(router, port, vc)`` of the downstream
+    input VC this counter mirrors (``router == -1`` for NIC-side edges,
+    with ``port`` the terminal id); it only feeds error context and costs
+    nothing on the hot path.
+    """
 
-    def __init__(self, limit: int):
+    __slots__ = ("limit", "count", "where")
+
+    def __init__(self, limit: int,
+                 where: tuple[int, int, int] | None = None):
         if limit < 1:
             raise ValueError(f"credit limit must be >= 1, got {limit}")
         self.limit = limit
         self.count = limit
+        self.where = where
 
     @property
     def available(self) -> bool:
         return self.count > 0
 
+    def _violation(self, rule: str, message: str, expected,
+                   actual) -> CreditError:
+        router = port = vc = None
+        if self.where is not None:
+            router, port, vc = self.where
+        return CreditError(rule, message, router=router, port=port, vc=vc,
+                           expected=expected, actual=actual)
+
     def consume(self) -> None:
         if self.count <= 0:
-            raise CreditError("credit consumed with zero credits")
+            raise self._violation(
+                "credit_underflow", "credit consumed with zero credits",
+                expected=">= 1", actual=self.count)
         self.count -= 1
 
     def restore(self) -> None:
         if self.count >= self.limit:
-            raise CreditError(
-                f"credit restored beyond limit {self.limit}")
+            raise self._violation(
+                "credit_overflow",
+                f"credit restored beyond limit {self.limit}",
+                expected=f"< {self.limit}", actual=self.count)
         self.count += 1
 
 

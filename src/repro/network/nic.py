@@ -16,6 +16,7 @@ from __future__ import annotations
 import random
 from collections import deque
 
+from ..core.violation import InvariantViolation
 from ..metrics.stats import NetworkStats
 from ..routing.base import RoutingAlgorithm
 from ..vcalloc.base import VCAllocationPolicy
@@ -31,8 +32,12 @@ class InjectEndpoint:
 
     __slots__ = ("ovcs",)
 
-    def __init__(self, num_vcs: int, buffer_depth: int):
-        self.ovcs = [OutVC(buffer_depth) for _ in range(num_vcs)]
+    def __init__(self, num_vcs: int, buffer_depth: int,
+                 terminal: int = -1):
+        # where = (-1, terminal, vc): NIC-side edge convention for credit
+        # error context (mirrors the ejection endpoint's router == -1).
+        self.ovcs = [OutVC(buffer_depth, (-1, terminal, v))
+                     for v in range(num_vcs)]
 
     def restore_credit(self, vc: int) -> None:
         self.ovcs[vc].credits.restore()
@@ -59,7 +64,7 @@ class Nic:
         self.rng = rng
         self.queue: deque[Packet] = deque()
         self.inject_state = InjectEndpoint(config.num_vcs,
-                                           config.buffer_depth)
+                                           config.buffer_depth, terminal)
         # In-progress transmissions, one per injection VC: vc -> [packet,
         # flits, next flit index]. The NIC interleaves them on the single
         # injection channel, one flit per cycle.
@@ -136,7 +141,12 @@ class Nic:
             packet, flits, idx = entry
             flit = flits[idx]
             flit.vc = vc
-            ovc.credits.consume()
+            try:
+                ovc.credits.consume()
+            except InvariantViolation as err:
+                if err.cycle is None:
+                    err.cycle = cycle
+                raise
             self.inject_link.deliver(flit, self.inject_endpoint, cycle + 1)
             if idx + 1 == len(flits):
                 ovc.owner = None
@@ -187,9 +197,18 @@ class Nic:
     def tick_eject(self, cycle: int, network) -> None:
         # Return credits whose delay has elapsed.
         due = self._eject_credit_due
+        probe = self._probe
         while due and due[0][0] <= cycle:
             _, vc = due.popleft()
-            self.eject_endpoint.restore_credit(vc)
+            try:
+                self.eject_endpoint.restore_credit(vc)
+            except InvariantViolation as err:
+                if err.cycle is None:
+                    err.cycle = cycle
+                raise
+            if probe is not None:
+                # router == -1 marks the NIC ejection side of the edge.
+                probe.on_credit_restore(cycle, -1, self.terminal, vc)
         q = self._eject_q
         while q and q[0][0] <= cycle:
             _, flit = q.popleft()

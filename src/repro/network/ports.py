@@ -15,12 +15,17 @@ from .vc import VirtualChannel
 
 
 class OutVC:
-    """Upstream-side state of one downstream input VC: allocation + credits."""
+    """Upstream-side state of one downstream input VC: allocation + credits.
+
+    ``where`` names the downstream ``(router, in_port, vc)`` for credit
+    error context (see :class:`~repro.network.credits.CreditCounter`).
+    """
 
     __slots__ = ("credits", "owner")
 
-    def __init__(self, depth: int):
-        self.credits = CreditCounter(depth)
+    def __init__(self, depth: int,
+                 where: tuple[int, int, int] | None = None):
+        self.credits = CreditCounter(depth, where)
         # (in_port, in_vc) of the packet currently allocated this VC.
         self.owner: tuple[int, int] | None = None
 
@@ -44,7 +49,8 @@ class OutEndpoint:
         self.router = router
         self.in_port = in_port
         self.latency = latency
-        self.ovcs = [OutVC(buffer_depth) for _ in range(num_vcs)]
+        self.ovcs = [OutVC(buffer_depth, (router, in_port, v))
+                     for v in range(num_vcs)]
 
     def restore_credit(self, vc: int) -> None:
         self.ovcs[vc].credits.restore()

@@ -41,6 +41,7 @@ per head flit instead of the dynamic ``route()`` call chain.
 from __future__ import annotations
 
 from ..core.pseudo_circuit import Termination
+from ..core.violation import InvariantViolation
 from ..metrics.stats import NetworkStats
 from ..routing.base import RoutingAlgorithm
 from ..vcalloc.base import VCAllocationPolicy
@@ -159,20 +160,31 @@ class Router:
         delivered = 0
         ports = self.in_ports
         mask = self._credit_mask
+        probe = self._probe
+        router_id = self.router_id
         m = mask
-        while m:
-            low = m & -m
-            m ^= low
-            ip = ports[low.bit_length() - 1]
-            # Inlined InputPort.deliver_credits / CreditChannel.deliver:
-            # walk the due prefix of the delay line directly.
-            q = ip.credit_channel._inflight
-            upstream = ip.upstream
-            while q and q[0][0] <= cycle:
-                upstream.ovcs[q.popleft()[1]].credits.restore()
-                delivered += 1
-            if not q:
-                mask ^= low
+        try:
+            while m:
+                low = m & -m
+                m ^= low
+                i = low.bit_length() - 1
+                ip = ports[i]
+                # Inlined InputPort.deliver_credits / CreditChannel.deliver:
+                # walk the due prefix of the delay line directly.
+                q = ip.credit_channel._inflight
+                upstream = ip.upstream
+                while q and q[0][0] <= cycle:
+                    vc = q.popleft()[1]
+                    upstream.ovcs[vc].credits.restore()
+                    delivered += 1
+                    if probe is not None:
+                        probe.on_credit_restore(cycle, router_id, i, vc)
+                if not q:
+                    mask ^= low
+        except InvariantViolation as err:
+            if err.cycle is None:
+                err.cycle = cycle
+            raise
         self._credit_mask = mask
         self._pending_credits -= delivered
 
@@ -580,7 +592,12 @@ class Router:
         out = self.out_ports[out_port]
         endpoint = vc.out_ep_obj
         ovc_state = vc.out_ovc_obj
-        ovc_state.credits.consume()
+        try:
+            ovc_state.credits.consume()
+        except InvariantViolation as err:
+            if err.cycle is None:
+                err.cycle = cycle
+            raise
         packet = flit.packet
         # Temporal locality (Fig. 1) and per-hop event counters, recorded
         # inline (this is the single hottest call site of the simulator;

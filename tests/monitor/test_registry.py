@@ -1,0 +1,73 @@
+"""MetricsRegistry: composition, metrics documents, path helpers."""
+
+import json
+
+from repro.monitor import (
+    METRICS_SCHEMA,
+    METRICS_SET_SCHEMA,
+    ConservationMonitor,
+    CreditMonitor,
+    MetricsRegistry,
+    ProgressWatchdog,
+    PseudoCircuitMonitor,
+    default_registry,
+    metrics_path,
+    metrics_set,
+    write_metrics,
+)
+
+from .conftest import monitored_net
+
+
+class TestComposition:
+    def test_default_registry_has_the_full_suite(self):
+        registry = default_registry()
+        kinds = {type(m) for m in registry.monitors}
+        assert kinds == {ConservationMonitor, CreditMonitor,
+                         PseudoCircuitMonitor, ProgressWatchdog}
+        assert all(m.strict for m in registry.monitors)
+        assert not any(m.strict
+                       for m in default_registry(strict=False).monitors)
+
+    def test_register_appends(self):
+        registry = MetricsRegistry()
+        monitor = registry.register(ConservationMonitor())
+        assert registry.monitors == [monitor]
+
+
+class TestDocument:
+    def test_metrics_document_shape(self, tmp_path):
+        registry = default_registry()
+        net = monitored_net(registry.probe(), rate=0.15, cycles=150)
+        net.drain()
+        doc = registry.finish(net)
+        assert doc["schema"] == METRICS_SCHEMA
+        assert doc["violation_count"] == 0 and doc["violations"] == []
+        assert set(doc["monitors"]) == {"conservation", "credits",
+                                        "pseudo_circuit", "watchdog"}
+        assert doc["run"]["injected_packets"] == doc["run"][
+            "ejected_packets"]
+        assert doc["run"]["pc_established"] == doc["monitors"][
+            "pseudo_circuit"]["established"]
+        # The document is JSON-serializable as written.
+        path = write_metrics(str(tmp_path / "run.metrics.json"), doc)
+        assert json.load(open(path))["schema"] == METRICS_SCHEMA
+
+    def test_metrics_set_bundles_runs(self):
+        registry = default_registry()
+        net = monitored_net(registry.probe(), rate=0.1, cycles=100)
+        net.drain()
+        doc = registry.finish(net)
+        bundle = metrics_set([("baseline", doc), ("pseudo", doc)])
+        assert bundle["schema"] == METRICS_SET_SCHEMA
+        assert [run["label"] for run in bundle["runs"]] == ["baseline",
+                                                            "pseudo"]
+        assert bundle["violation_count"] == 0
+
+
+class TestPaths:
+    def test_metrics_path_rewrites_json_suffix(self):
+        assert metrics_path("out.json") == "out.metrics.json"
+        assert metrics_path("results/sweep.json") == \
+            "results/sweep.metrics.json"
+        assert metrics_path("noext") == "noext.metrics.json"

@@ -63,3 +63,70 @@ class TestCreditChannel:
         ch.send(0, now=0)
         ch.send(1, now=0)
         assert ch.pending() == 2
+
+
+class TestCreditChannelEdgeCases:
+    """Delay-line corner cases: equal due-cycles, zero delay, limits."""
+
+    def test_equal_due_cycles_deliver_in_send_order(self):
+        ch = CreditChannel(delay=2)
+        ch.send(vc=3, now=5)
+        ch.send(vc=0, now=5)
+        ch.send(vc=3, now=5)
+        assert ch.deliver(7) == [3, 0, 3]
+
+    def test_deliver_stops_at_the_first_future_credit(self):
+        ch = CreditChannel(delay=1)
+        ch.send(0, now=0)
+        ch.send(1, now=3)
+        assert ch.deliver(1) == [0]
+        assert ch.pending() == 1
+        assert ch.next_due() == 4
+
+    def test_zero_delay_same_cycle_round_trip(self):
+        ch = CreditChannel(delay=0)
+        ch.send(2, now=9)
+        ch.send(1, now=9)
+        assert ch.deliver(9) == [2, 1]
+        assert ch.pending() == 0
+
+    def test_deliver_on_empty_channel(self):
+        ch = CreditChannel(delay=1)
+        assert ch.deliver(100) == []
+
+    def test_next_due_on_empty_channel_raises(self):
+        ch = CreditChannel(delay=1)
+        with pytest.raises(IndexError):
+            ch.next_due()
+
+    def test_restore_past_limit_names_the_edge(self):
+        counter = CreditCounter(2, where=(6, 2, 1))
+        with pytest.raises(CreditError) as exc:
+            counter.restore()
+        err = exc.value
+        assert err.rule == "credit_overflow"
+        assert (err.router, err.port, err.vc) == (6, 2, 1)
+        assert err.cycle is None  # call sites fill the cycle in
+
+    def test_underflow_without_where_has_no_location(self):
+        counter = CreditCounter(1)
+        counter.consume()
+        with pytest.raises(CreditError) as exc:
+            counter.consume()
+        assert exc.value.router is None
+        assert exc.value.rule == "credit_underflow"
+
+    def test_full_drain_and_refill_cycle_via_channel(self):
+        """Consume-to-zero then restore-via-channel ends exactly full."""
+        counter = CreditCounter(3)
+        ch = CreditChannel(delay=1)
+        for _ in range(3):
+            counter.consume()
+        for cycle in range(3):
+            ch.send(0, now=cycle)
+        for cycle in range(1, 4):
+            for _vc in ch.deliver(cycle):
+                counter.restore()
+        assert counter.count == 3
+        with pytest.raises(CreditError):
+            counter.restore()
