@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Commands:
+Commands (full reference with every flag: ``docs/CLI.md``):
 
 * ``fig1 .. fig14, table1, table2`` — regenerate one paper figure/table;
 * ``all`` — regenerate everything (reduced scale);
@@ -19,21 +19,30 @@ Commands:
 
       python -m repro compare old.metrics.json new.metrics.json
 
+* ``trace`` — run one experiment with the full instrumentation stack and
+  write the flit-lifecycle trace (JSONL + Chrome ``trace_event`` JSON,
+  loadable in Perfetto), the windowed per-router time series (CSV +
+  JSON + spatial heatmap) and the run manifest;
+* ``store`` — inspect / maintain the content-addressed result store
+  (``ls``, ``verify``, ``gc``, ``export``).
+
 ``run``, ``sweep`` and ``bench`` accept ``--check`` to attach the full
 online-monitor suite (``repro.monitor``): invariant violations abort the
 run, and a ``*.metrics.json`` document is written next to ``--out`` for
 later ``compare`` calls.
-* ``trace`` — run one experiment with the full instrumentation stack and
-  write the flit-lifecycle trace (JSONL + Chrome ``trace_event`` JSON,
-  loadable in Perfetto), the windowed per-router time series (CSV +
-  JSON + spatial heatmap) and the run manifest, e.g.::
-
-      python -m repro trace --pattern uniform --rate 0.3 --out traces/sat
 
 Figure and sweep commands accept ``--workers N`` to fan the underlying
 simulations out over N worker processes; results are bit-identical to a
 serial run. Figure, sweep and run commands accept ``--out PATH`` to also
 persist their rows as JSON with a provenance manifest sidecar.
+
+Resilient execution (``DESIGN.md`` §11): ``--store DIR`` (default from
+``$REPRO_STORE``) backs the run cache with the content-addressed result
+store, so re-running figures or sweeps over a warm store is near-free;
+``sweep --journal PATH`` checkpoints every completed point and
+``--resume`` continues an interrupted sweep bit-identically;
+``--retries``/``--timeout`` govern worker retries and pool-stall
+recovery.
 """
 
 from __future__ import annotations
@@ -41,10 +50,12 @@ from __future__ import annotations
 import argparse
 import inspect
 import json
+import os
 import sys
 
 from .harness.bench import run_bench
-from .harness.experiment import ExperimentConfig, run_experiment
+from .harness.experiment import (ExperimentConfig, default_store,
+                                 run_experiment, set_default_store)
 from .harness.figures import ALL_FIGURES
 from .harness.report import print_table, write_results
 from .harness.sweep import sweep_buffer_depth, sweep_load, sweep_vcs
@@ -52,6 +63,7 @@ from .instrument import (CompositeProbe, FlitTracer, TimeSeriesProbe,
                          run_manifest, write_manifest)
 from .network.config import (ALL_SCHEMES, BASELINE, PSEUDO, PSEUDO_B,
                              PSEUDO_S, PSEUDO_SB)
+from .store.cli import add_store_parser, cmd_store
 
 SCHEMES = {"baseline": BASELINE, "pseudo": PSEUDO, "pseudo_s": PSEUDO_S,
            "pseudo_b": PSEUDO_B, "pseudo_sb": PSEUDO_SB}
@@ -74,17 +86,43 @@ def _persist(out: str | None, command: dict, rows) -> None:
     print(f"wrote {out}")
 
 
-def _cmd_figure(name: str, workers: int | None, out: str | None) -> int:
-    fn = ALL_FIGURES[name]
-    rows = fn(**_figure_kwargs(fn, workers))
-    _persist(out, {"command": name, "workers": workers}, rows)
+def _activate_store(args) -> None:
+    """Install the result store requested by --store / $REPRO_STORE."""
+    store_dir = getattr(args, "store", None)
+    if store_dir:
+        from .store import ResultStore
+        set_default_store(ResultStore(store_dir))
+    if getattr(args, "resume", False) and not getattr(args, "journal", None):
+        if default_store() is None:
+            raise SystemExit(
+                "error: --resume without --journal needs --store (or "
+                "$REPRO_STORE) to replay completed points from")
+
+
+def _store_summary() -> None:
+    """Print one line of cache-hit accounting when a store is active."""
+    store = default_store()
+    if store is None:
+        return
+    stats = store.stats_dict()
+    print(f"store: {stats['hits']} hits, {stats['misses']} misses, "
+          f"{stats['puts']} new results ({stats['dir']})")
+
+
+def _cmd_figure(args) -> int:
+    fn = ALL_FIGURES[args.command]
+    rows = fn(**_figure_kwargs(fn, args.workers))
+    _store_summary()
+    _persist(args.out, {"command": args.command, "workers": args.workers},
+             rows)
     return 0
 
 
-def _cmd_all(workers: int | None) -> int:
+def _cmd_all(args) -> int:
     for name in ALL_FIGURES:
         fn = ALL_FIGURES[name]
-        fn(**_figure_kwargs(fn, workers))
+        fn(**_figure_kwargs(fn, args.workers))
+    _store_summary()
     return 0
 
 
@@ -138,6 +176,7 @@ def _cmd_run(args) -> int:
                          "manifest": res.manifest})
     print_table(cfg.label,
                 ["scheme", "latency", "reuse", "buf bypass", "pJ/hop"], rows)
+    _store_summary()
     if checked:
         _report_checked(checked, args.out)
     _persist(args.out, {"command": "run", "label": cfg.label}, out_rows)
@@ -154,7 +193,13 @@ def _report_checked(checked, out: str | None) -> None:
               f"{len(monitors)} monitors, "
               f"max stall {watchdog.get('max_stall_cycles', 0)} cycles")
     if out is not None:
-        path = write_metrics(metrics_path(out), metrics_set(checked))
+        doc = metrics_set(checked)
+        store = default_store()
+        if store is not None:
+            # Checked runs bypass the cache, so these counters record the
+            # bypass (zero hits) rather than cache temperature.
+            doc["store"] = store.stats_dict()
+        path = write_metrics(metrics_path(out), doc)
         print(f"wrote {path}")
 
 
@@ -195,7 +240,14 @@ def _cmd_sweep(args) -> int:
               "buffers": (sweep_buffer_depth, "buffer_depth"),
               "load": (sweep_load, "load")}
     fn, key = sweeps[args.kind]
-    rows = fn(max_workers=args.workers, check=args.check)
+    overrides = {}
+    if args.cycles is not None:
+        overrides["synth_cycles"] = args.cycles
+        overrides["synth_warmup"] = args.cycles // 4
+    rows = fn(max_workers=args.workers, check=args.check,
+              journal=args.journal, resume=args.resume,
+              retries=args.retries, backoff_base=args.backoff,
+              timeout=args.timeout, **overrides)
     if args.check:
         print(f"monitors: all {2 * len(rows)} sweep points "
               f"violation-free")
@@ -203,6 +255,7 @@ def _cmd_sweep(args) -> int:
                 [key, "baseline", "Pseudo+S+B", "reduction", "reuse"],
                 [(r[key], r["baseline_latency"], r["latency"],
                   r["reduction"], r["reusability"]) for r in rows])
+    _store_summary()
     _persist(args.out, {"command": "sweep", "kind": args.kind}, rows)
     return 0
 
@@ -227,7 +280,21 @@ def _cmd_compare(args) -> int:
     return 1 if report["regressed"] else 0
 
 
-def main(argv=None) -> int:
+def _add_store_arg(p) -> None:
+    """--store DIR: back the run cache with the on-disk result store."""
+    p.add_argument("--store", default=os.environ.get("REPRO_STORE"),
+                   metavar="DIR",
+                   help="content-addressed result store directory backing "
+                        "the run cache (default: $REPRO_STORE)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the full ``repro`` argument parser.
+
+    Exposed as a function (rather than built inline in ``main``) so the
+    documentation drift test can walk every subcommand and option string
+    and assert ``docs/CLI.md`` covers them.
+    """
     parser = argparse.ArgumentParser(
         prog="repro", description="Pseudo-Circuit reproduction CLI")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -236,8 +303,17 @@ def main(argv=None) -> int:
         fig_p.add_argument("--workers", type=int, default=None)
         fig_p.add_argument("--out", default=None,
                            help="also write rows + manifest to this JSON")
+        _add_store_arg(fig_p)
+        fig_p.add_argument("--resume", action="store_true",
+                           help="serve completed points from the warm "
+                                "store of an interrupted run (needs "
+                                "--store)")
     all_p = sub.add_parser("all", help="regenerate every figure and table")
     all_p.add_argument("--workers", type=int, default=None)
+    _add_store_arg(all_p)
+    all_p.add_argument("--resume", action="store_true",
+                       help="serve completed points from the warm store "
+                            "of an interrupted run (needs --store)")
 
     def add_experiment_args(p, scheme_default: str,
                             scheme_choices: list[str]) -> None:
@@ -276,6 +352,7 @@ def main(argv=None) -> int:
     run_p.add_argument("--check", action="store_true",
                        help="attach the online invariant monitors; write "
                             "a *.metrics.json doc next to --out")
+    _add_store_arg(run_p)
 
     trace_p = sub.add_parser(
         "trace", help="run one experiment fully instrumented; write trace, "
@@ -293,6 +370,28 @@ def main(argv=None) -> int:
     sweep_p.add_argument("--check", action="store_true",
                          help="attach the online invariant monitors to "
                               "every sweep point")
+    sweep_p.add_argument("--cycles", type=int, default=None,
+                         help="cycles per sweep point (default 1000; "
+                              "warmup is cycles/4)")
+    _add_store_arg(sweep_p)
+    sweep_p.add_argument("--journal", default=None, metavar="PATH",
+                         help="checkpoint every completed point to this "
+                              "journal file as it lands")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="skip points already in --journal (or the "
+                              "--store) from an interrupted run; the "
+                              "merged result is bit-identical to an "
+                              "uninterrupted sweep")
+    sweep_p.add_argument("--retries", type=int, default=0,
+                         help="extra attempts per failed/timed-out point "
+                              "(default 0)")
+    sweep_p.add_argument("--backoff", type=float, default=0.5,
+                         help="base seconds of the deterministic "
+                              "exponential retry backoff (default 0.5)")
+    sweep_p.add_argument("--timeout", type=float, default=None,
+                         help="seconds without any completed chunk before "
+                              "the worker pool is abandoned and the sweep "
+                              "degrades to serial execution")
 
     bench_p = sub.add_parser(
         "bench", help="time canonical workloads, write BENCH_core.json")
@@ -312,6 +411,13 @@ def main(argv=None) -> int:
     bench_p.add_argument("--check", action="store_true",
                          help="run the monitored self-check and write its "
                               "metrics doc next to the report")
+    _add_store_arg(bench_p)
+    bench_p.add_argument("--journal", default=None, metavar="PATH",
+                         help="checkpoint every timed workload row to "
+                              "this journal file as it lands")
+    bench_p.add_argument("--resume", action="store_true",
+                         help="reuse workload rows already in --journal "
+                              "from an interrupted bench")
 
     compare_p = sub.add_parser(
         "compare", help="regression report between two metrics/bench JSON "
@@ -327,11 +433,21 @@ def main(argv=None) -> int:
     compare_p.add_argument("--show-ok", action="store_true",
                            help="note explicitly when nothing moved")
 
+    add_store_parser(sub)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Parse one CLI invocation and dispatch it; returns the exit code."""
+    parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "store":
+        return cmd_store(args)
+    _activate_store(args)
     if args.command in ALL_FIGURES:
-        return _cmd_figure(args.command, args.workers, args.out)
+        return _cmd_figure(args)
     if args.command == "all":
-        return _cmd_all(args.workers)
+        return _cmd_all(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "trace":
@@ -344,7 +460,7 @@ def main(argv=None) -> int:
             kwargs["repeats"] = args.repeats
         run_bench(out_path=None if args.out == "-" else args.out,
                   profile=args.profile, gate=args.gate, check=args.check,
-                  **kwargs)
+                  journal=args.journal, resume=args.resume, **kwargs)
         return 0
     if args.command == "compare":
         return _cmd_compare(args)

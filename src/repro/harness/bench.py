@@ -45,6 +45,7 @@ import time
 
 from ..instrument import git_sha, overhead_gate, run_manifest, write_manifest
 from ..instrument.overhead import timing_gate
+from ..store import SweepJournal
 from ..network.config import BASELINE, PSEUDO_SB, NetworkConfig
 from ..network.simulator import build_network
 from ..topology import make_topology
@@ -172,22 +173,45 @@ def profile_workloads(cycles: int = DEFAULT_CYCLES, top: int = 20) -> None:
 def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
               out_path: str | None = "BENCH_core.json",
               show: bool = True, profile: bool = False,
-              gate: bool = False, check: bool = False) -> dict:
+              gate: bool = False, check: bool = False,
+              journal: str | None = None, resume: bool = False) -> dict:
     """Time every canonical workload; optionally write ``BENCH_core.json``.
 
     ``check=True`` additionally runs the monitored self-check
     (``repro.monitor.self_check``) on the same canonical rates and writes
     its metrics document next to the report (``*.metrics.json``).
+
+    ``journal=`` checkpoints every timed workload row to a
+    ``repro.store.SweepJournal`` as it lands; ``resume=True`` reuses the
+    journaled rows of an interrupted earlier bench instead of re-timing
+    them (the resumed rows carry the walls the interrupted run measured —
+    fine for finishing a report, not for an apples-to-apples perf gate).
     """
     previous = None
     if gate and out_path is not None and os.path.exists(out_path):
         with open(out_path, encoding="utf-8") as fh:
             previous = json.load(fh)
+    bench_journal = None
+    completed_rows: dict = {}
+    if journal is not None:
+        bench_journal = SweepJournal(journal)
+        if resume:
+            completed_rows = bench_journal.load()
+        else:
+            bench_journal.truncate()
     start_wall = time.perf_counter()
     workloads = []
     weights = {name: weight for name, _, _, weight in CANONICAL_WORKLOADS}
     at_default_scale = cycles == DEFAULT_CYCLES
     for name, scheme, rate, weight in CANONICAL_WORKLOADS:
+        journal_key = f"bench:{name}:cycles={cycles}:repeats={repeats}"
+        resumed = completed_rows.get(journal_key)
+        if resumed is not None:
+            workloads.append(resumed)
+            if show:
+                print(f"{name:32s} {resumed['wall_s']:7.3f}s  (resumed "
+                      f"from journal)")
+            continue
         row = {"name": name, "weight": weight,
                **time_workload(scheme, rate, cycles, repeats)}
         if at_default_scale:
@@ -197,11 +221,15 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
             row["pr1_wall_s"] = PR1_WALL_S[name]
             row["speedup_vs_pr1"] = round(PR1_WALL_S[name] / row["wall_s"], 3)
         workloads.append(row)
+        if bench_journal is not None:
+            bench_journal.append(journal_key, row)
         if show:
             speedup = row.get("speedup_vs_pr1")
             trail = f"  {speedup}x vs PR1" if speedup is not None else ""
             print(f"{name:32s} {row['wall_s']:7.3f}s  "
                   f"(reference {row['reference_wall_s']:7.3f}s){trail}")
+    if bench_journal is not None:
+        bench_journal.close()
     summary = {}
     if at_default_scale:
         summary = {

@@ -58,11 +58,13 @@ class ExperimentConfig:
 
     @property
     def label(self) -> str:
+        """Human-readable point label (topology/routing/VA/scheme/traffic)."""
         traffic = self.benchmark or f"{self.pattern}@{self.rate:g}"
         return (f"{self.topology}/{self.routing}/{self.vc_policy}/"
                 f"{self.scheme.label}/{traffic}")
 
     def with_scheme(self, scheme: PseudoCircuitConfig) -> "ExperimentConfig":
+        """This config with the pseudo-circuit scheme replaced."""
         return replace(self, scheme=scheme)
 
 
@@ -95,6 +97,7 @@ class Result:
     def from_network(cls, config: ExperimentConfig, net: Network,
                      manifest: dict | None = None,
                      monitor_report: dict | None = None) -> "Result":
+        """Extract the paper's metrics from a finished simulation."""
         stats = net.stats
         energy = DEFAULT_ENERGY_MODEL.router_energy(stats)
         return cls(
@@ -118,8 +121,31 @@ class Result:
 
 _run_cache: dict[ExperimentConfig, Result] = {}
 
+#: Process-wide ResultStore backing the memo (None = memory only).
+_default_store = None
+
+
+def set_default_store(store) -> None:
+    """Install the process-wide result store behind the run cache.
+
+    With a store installed, every cache miss consults the store (a
+    durable, content-addressed hit is folded into the memo) and every
+    computed result is written through, so repeated ``figure all``
+    invocations across *processes* become near-free cache hits. Pass
+    ``None`` to go back to memory-only caching. Checked runs
+    (``check=True``) bypass both layers.
+    """
+    global _default_store
+    _default_store = store
+
+
+def default_store():
+    """The process-wide result store, or ``None`` (memory-only cache)."""
+    return _default_store
+
 
 def build_network(config: ExperimentConfig, probe=None) -> Network:
+    """Construct the simulated network one experiment point describes."""
     net_cfg = NetworkConfig(
         num_vcs=config.num_vcs, buffer_depth=config.buffer_depth,
         pseudo=config.scheme,
@@ -150,8 +176,10 @@ def run_experiment(config: ExperimentConfig, *, use_cache: bool = True,
     """
     if probe is not None or check:
         use_cache = False
-    if use_cache and config in _run_cache:
-        return _run_cache[config]
+    if use_cache:
+        hit = cached(config)
+        if hit is not None:
+            return hit
     registry = None
     if check:
         from ..instrument import CompositeProbe
@@ -183,7 +211,7 @@ def run_experiment(config: ExperimentConfig, *, use_cache: bool = True,
     result = Result.from_network(config, net, manifest=manifest,
                                  monitor_report=monitor_report)
     if use_cache:
-        _run_cache[config] = result
+        cache_result(result)
     return result
 
 
@@ -199,16 +227,48 @@ def _replay(net: Network, trace: Trace) -> None:
     net.drain(max_cycles=500_000)
 
 
-def cached(config: ExperimentConfig) -> Result | None:
-    """Return the memoized result for ``config``, if any."""
-    return _run_cache.get(config)
+def cached(config: ExperimentConfig, store=None) -> Result | None:
+    """Return the cached result for ``config``, if any.
+
+    The in-process memo is consulted first; on a miss, the explicit
+    ``store`` (or the process-wide default store) is queried by content
+    address. A durable hit is deserialized, folded into the memo, and
+    returned — corrupt store entries read back as misses (the store
+    quarantines them), so callers transparently recompute.
+    """
+    hit = _run_cache.get(config)
+    if hit is not None:
+        return hit
+    store = store if store is not None else _default_store
+    if store is None:
+        return None
+    from ..store import payload_to_result, store_key
+    payload = store.get(store_key(config))
+    if payload is None:
+        return None
+    try:
+        result = payload_to_result(payload)
+    except (KeyError, TypeError, ValueError):
+        return None  # forward-incompatible payload: recompute
+    _run_cache[config] = result
+    return result
 
 
-def cache_result(result: Result) -> None:
-    """Fold an externally computed result (e.g. from a worker process)
-    into the in-process memo."""
+def cache_result(result: Result, store=None) -> None:
+    """Fold a computed result into the memo and write it through.
+
+    With a ``store`` (explicit or the process-wide default) the result
+    is also persisted under its content-addressed key, making it
+    durable across processes.
+    """
     _run_cache[result.config] = result
+    store = store if store is not None else _default_store
+    if store is not None:
+        from ..store import result_to_payload, store_key
+        store.put(store_key(result.config), result_to_payload(result),
+                  label=result.config.label)
 
 
 def clear_cache() -> None:
+    """Empty the in-process run memo (the default store is untouched)."""
     _run_cache.clear()

@@ -15,6 +15,12 @@ every configuration it is about to request, warms the run cache through
 processes), and then executes its original serial loop against the cache.
 Results are bit-identical to a serial run — parallelism only changes where
 the simulations execute, never their seeds or their order in the output.
+
+With a result store installed (``--store`` / ``$REPRO_STORE`` /
+``experiment.set_default_store``), the memo is additionally backed by
+the content-addressed on-disk store: a second ``figure all`` over a
+warm store recomputes nothing — every point is a verified store hit
+(``DESIGN.md`` §11) — and an interrupted figure run resumes for free.
 """
 
 from __future__ import annotations

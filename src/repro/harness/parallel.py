@@ -1,17 +1,44 @@
-"""Process-parallel experiment execution.
+"""Fault-tolerant, resumable process-parallel experiment scheduler.
 
 ``run_experiments`` fans a list of ``ExperimentConfig`` points out over a
 ``concurrent.futures.ProcessPoolExecutor`` and merges the results back in
-submission order, so callers see exactly the list a serial loop would have
-produced. Determinism is free: every config carries its own seed, a
+submission order, so callers see exactly the list a serial loop would
+have produced. Determinism is free: every config carries its own seed, a
 simulation's outcome depends on nothing but its config, and the ordered
 merge removes scheduling effects — parallel and serial runs are
 bit-identical (``tests/network/test_active_set.py`` locks this in).
 
-Workers are forked (POSIX default), so they inherit the parent's trace and
-run caches; results travel back pickled and are folded into the parent's
-cache, which lets the figure code keep its cheap memoized
-``run_experiment`` calls after a ``prefetch``.
+On top of that ordered merge the scheduler is built to *survive*
+(``DESIGN.md`` §11):
+
+* **Checkpointing** — with ``journal=`` every completed point is
+  appended (flushed + fsync'd) to a ``repro.store.SweepJournal`` as it
+  lands; ``resume=True`` replays journaled points instead of
+  recomputing them, and the merge stays bit-identical to an
+  uninterrupted run because results are pure functions of their config.
+* **Retries with deterministic backoff** — ``retries=N`` grants every
+  point up to N extra attempts, sleeping ``backoff_base * 2**(k-1)``
+  (capped at ``backoff_cap``) before the k-th retry. No jitter: the
+  wait sequence is reproducible, which matters more here than
+  thundering-herd avoidance (the "herd" is our own worker pool). The
+  ``sleep`` callable is injectable so tests can run the schedule on a
+  fake clock.
+* **Graceful degradation** — a broken pool (worker SIGKILLed, fork
+  bomb, pickling failure) or a stall past ``timeout`` seconds without
+  any chunk completing abandons the pool and finishes the remaining
+  points serially in-process, in input order.
+* **Durable caching** — completed points are written through the
+  content-addressed ``ResultStore`` (explicit ``store=`` or the
+  process-wide default installed by
+  ``experiment.set_default_store``), so a *new process* reruns nothing
+  that is already known.
+
+Workers are forked (POSIX default), so they inherit the parent's trace
+and run caches; results travel back pickled and are folded into the
+parent's cache, which lets the figure code keep its cheap memoized
+``run_experiment`` calls after a ``prefetch``. ``check=True`` runs
+bypass every cache layer — memo, store and journal — because a replayed
+result would silently skip the monitors.
 """
 
 from __future__ import annotations
@@ -19,10 +46,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from collections.abc import Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
 from ..instrument import run_manifest
+from ..store import (SweepJournal, payload_to_result, result_to_payload,
+                     store_key)
 from .experiment import (ExperimentConfig, Result, cache_result, cached,
                          run_experiment)
 
@@ -44,6 +74,13 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def backoff_delay(attempt: int, base: float, cap: float) -> float:
+    """Seconds to wait before retry ``attempt`` (1-based): exponential,
+    capped, deliberately jitter-free so retry schedules are reproducible.
+    """
+    return min(cap, base * (2 ** (attempt - 1)))
+
+
 class SweepPointError(RuntimeError):
     """One point of a sweep failed; names the failing point's parameters.
 
@@ -55,10 +92,21 @@ class SweepPointError(RuntimeError):
     the run manifest of the failing point is available it is embedded in
     the message and kept on ``manifest``, so the report names the exact
     config hash, seed and commit needed to reproduce the failure.
+
+    When the scheduler retried the point, ``attempts`` counts every try
+    and ``backoff_s`` lists the waits (seconds) that preceded each retry,
+    so the error is a complete record of the retry schedule.
     """
 
-    def __init__(self, point: str, cause: str, manifest: dict | None = None):
-        message = f"sweep point {point} failed: {cause}"
+    def __init__(self, point: str, cause: str, manifest: dict | None = None,
+                 attempts: int = 1,
+                 backoff_s: Sequence[float] | None = None):
+        message = f"sweep point {point} failed"
+        backoff_s = list(backoff_s or [])
+        if attempts > 1:
+            waits = ", ".join(f"{delay:g}s" for delay in backoff_s)
+            message += f" after {attempts} attempts (backoff: {waits})"
+        message += f": {cause}"
         if manifest is not None:
             message += "\nrun manifest: " + json.dumps(
                 manifest, sort_keys=True, default=str)
@@ -66,11 +114,14 @@ class SweepPointError(RuntimeError):
         self.point = point
         self.cause = cause
         self.manifest = manifest
+        self.attempts = attempts
+        self.backoff_s = backoff_s
 
     def __reduce__(self):
-        # Default exception pickling would re-call __init__ with the
-        # formatted message as ``point``; rebuild from the raw fields.
-        return (SweepPointError, (self.point, self.cause, self.manifest))
+        """Rebuild from the raw fields (default exception pickling would
+        re-call ``__init__`` with the formatted message as ``point``)."""
+        return (SweepPointError, (self.point, self.cause, self.manifest,
+                                  self.attempts, self.backoff_s))
 
 
 def _run_point(cfg: ExperimentConfig, check: bool = False) -> Result:
@@ -89,69 +140,270 @@ def _run_point(cfg: ExperimentConfig, check: bool = False) -> Result:
 
 
 def _run_chunk(configs: Sequence[ExperimentConfig],
-               check: bool = False) -> list[Result]:
-    """Worker entry point: simulate one chunk of configs, in order."""
-    return [_run_point(cfg, check) for cfg in configs]
+               check: bool = False) -> list:
+    """Worker entry point: simulate one chunk of configs, in order.
+
+    Failures do not abort the chunk: each element of the returned list
+    is either a ``Result`` or the ``SweepPointError`` that point raised
+    (both pickle-safe), so one bad point cannot discard its chunk-mates'
+    completed work.
+    """
+    outcomes = []
+    for cfg in configs:
+        try:
+            outcomes.append(_run_point(cfg, check))
+        except SweepPointError as err:
+            outcomes.append(err)
+    return outcomes
+
+
+def _open_journal(journal, resume: bool):
+    """Normalize the ``journal=`` argument; truncate unless resuming."""
+    if journal is None:
+        return None
+    if not isinstance(journal, SweepJournal):
+        journal = SweepJournal(journal)
+    if not resume:
+        journal.truncate()
+    return journal
+
+
+class _Scheduler:
+    """One ``run_experiments`` invocation's mutable scheduling state."""
+
+    def __init__(self, configs, *, check, store, journal, resume,
+                 max_attempts, backoff_base, backoff_cap, timeout, sleep):
+        self.configs = configs
+        self.results: list[Result | None] = [None] * len(configs)
+        self.check = check
+        self.store = store
+        self.journal = journal
+        self.resume = resume
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.timeout = timeout
+        self.sleep = sleep
+
+    # -- completion -------------------------------------------------------
+
+    def finish_point(self, idx: int, result: Result,
+                     from_journal: bool = False) -> None:
+        """Record one completed point: slot, memo/store, checkpoint."""
+        self.results[idx] = result
+        if not self.check:
+            cache_result(result, store=self.store)
+        if self.journal is not None and not from_journal:
+            self.journal.append(store_key(result.config),
+                                result_to_payload(result))
+
+    # -- skip phase: journal, memo, store ---------------------------------
+
+    def collect_todo(self) -> list[tuple[int, ExperimentConfig]]:
+        """Resolve every point answerable without simulating; return the
+        rest."""
+        journaled: dict[str, dict] = {}
+        if self.journal is not None and self.resume:
+            journaled = self.journal.load()
+        todo: list[tuple[int, ExperimentConfig]] = []
+        for idx, cfg in enumerate(self.configs):
+            if self.check:
+                todo.append((idx, cfg))
+                continue
+            payload = journaled.get(store_key(cfg))
+            if payload is not None:
+                try:
+                    self.finish_point(idx, payload_to_result(payload),
+                                      from_journal=True)
+                    continue
+                except (KeyError, TypeError, ValueError):
+                    pass  # stale journal payload: recompute
+            hit = cached(cfg, store=self.store)
+            if hit is not None:
+                # Already durable — record the slot (and checkpoint, so
+                # the journal stays self-contained) without a store put.
+                self.results[idx] = hit
+                if self.journal is not None:
+                    self.journal.append(store_key(cfg),
+                                        result_to_payload(hit))
+            else:
+                todo.append((idx, cfg))
+        return todo
+
+    # -- serial execution with retries ------------------------------------
+
+    def attempt_with_retries(self, cfg: ExperimentConfig,
+                             first_error: SweepPointError | None = None,
+                             attempts_done: int = 0) -> Result:
+        """Run one point inline, retrying with deterministic backoff.
+
+        ``first_error``/``attempts_done`` account for attempts already
+        spent in the worker pool. Exhausting the budget raises a
+        ``SweepPointError`` carrying the attempt count and the full
+        backoff history, chained to the underlying cause.
+        """
+        attempt = attempts_done
+        last = first_error
+        history: list[float] = []
+        while attempt < self.max_attempts:
+            if attempt > 0:
+                delay = backoff_delay(attempt, self.backoff_base,
+                                      self.backoff_cap)
+                history.append(delay)
+                self.sleep(delay)
+            attempt += 1
+            try:
+                return _run_point(cfg, self.check)
+            except SweepPointError as err:
+                last = err
+        if attempt <= 1 and not history:
+            raise last  # single attempt: surface the original error as-is
+        rebuilt = SweepPointError(last.point, last.cause, last.manifest,
+                                  attempt, history)
+        raise rebuilt from (last.__cause__ or last)
+
+    def run_serial(self, todo) -> None:
+        """Execute points inline, in input order (the no-pool path)."""
+        for idx, cfg in todo:
+            self.finish_point(idx, self.attempt_with_retries(cfg))
+
+    # -- pooled execution --------------------------------------------------
+
+    def run_pooled(self, todo, max_workers: int,
+                   chunk_size: int | None) -> None:
+        """Dispatch chunks to a process pool; recover failures serially.
+
+        Chunk outcomes are journaled as they land (``as_completed``
+        order), the final merge is input-ordered. Worker-raised
+        ``SweepPointError``s, a broken pool, and a pool that makes no
+        progress for ``timeout`` seconds all funnel the affected points
+        into an in-process retry pass with backoff; the first point (in
+        input order) to exhaust its attempts raises.
+        """
+        if chunk_size is None:
+            # ~4 chunks per worker balances load without excessive
+            # pickling.
+            chunk_size = max(1, len(todo) // (max_workers * 4))
+        chunks = [todo[lo:lo + chunk_size]
+                  for lo in range(0, len(todo), chunk_size)]
+        workers = min(max_workers, len(chunks))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        recover: list[tuple] = []  # (idx, cfg, pool_error | None)
+        try:
+            future_chunks = {
+                pool.submit(_run_chunk, [cfg for _, cfg in chunk],
+                            self.check): chunk
+                for chunk in chunks}
+        except Exception:
+            # Pool unusable from the start (e.g. fork failure): everything
+            # runs inline.
+            recover = [(idx, cfg, None) for idx, cfg in todo]
+            future_chunks = {}
+        pending = set(future_chunks)
+        while pending:
+            done, pending = wait(pending, timeout=self.timeout,
+                                 return_when=FIRST_COMPLETED)
+            if not done:
+                # No chunk completed within the timeout window: stop
+                # trusting the pool, salvage the rest in-process.
+                for future in pending:
+                    future.cancel()
+                    recover.extend((idx, cfg, None)
+                                   for idx, cfg in future_chunks[future])
+                pending = set()
+                break
+            for future in done:
+                chunk = future_chunks[future]
+                try:
+                    outcomes = future.result()
+                except Exception:
+                    # Worker process died / pool broke mid-flight: the
+                    # chunk's points rerun serially.
+                    recover.extend((idx, cfg, None) for idx, cfg in chunk)
+                    continue
+                for (idx, cfg), outcome in zip(chunk, outcomes):
+                    if isinstance(outcome, SweepPointError):
+                        recover.append((idx, cfg, outcome))
+                    else:
+                        self.finish_point(idx, outcome)
+        pool.shutdown(wait=False, cancel_futures=True)
+        for idx, cfg, err in sorted(recover, key=lambda item: item[0]):
+            if err is not None and self.max_attempts <= 1:
+                raise err
+            result = self.attempt_with_retries(
+                cfg, first_error=err, attempts_done=1 if err else 0)
+            self.finish_point(idx, result)
 
 
 def run_experiments(configs: Iterable[ExperimentConfig],
                     max_workers: int | None = None,
                     chunk_size: int | None = None,
-                    check: bool = False) -> list[Result]:
+                    check: bool = False,
+                    store=None,
+                    journal=None,
+                    resume: bool = False,
+                    retries: int = 0,
+                    backoff_base: float = 0.5,
+                    backoff_cap: float = 30.0,
+                    timeout: float | None = None,
+                    sleep=time.sleep) -> list[Result]:
     """Run many experiment points, returning results in input order.
 
-    Cached points are answered from the in-process memo without touching
-    the pool; the remainder is split into chunks (amortizing process
-    round-trips) and dispatched. With ``max_workers`` of 1 — or a single
-    uncached point — everything runs inline, which keeps tests and
-    single-core machines free of pool overhead.
+    Cached points are answered without simulating — from the in-process
+    memo, the content-addressed ``store`` (explicit or the process-wide
+    default), or, with ``resume=True``, the checkpoint ``journal`` of an
+    interrupted earlier run. The remainder is split into chunks
+    (amortizing process round-trips) and dispatched to a worker pool;
+    every completed point is journaled and written through the store *as
+    it lands*, so progress survives a SIGKILL at any instant. With
+    ``max_workers`` of 1 — or a single uncached point — everything runs
+    inline, which keeps tests and single-core machines free of pool
+    overhead.
+
+    Failures retry up to ``retries`` extra times with deterministic
+    exponential backoff (``backoff_base``/``backoff_cap``, injectable
+    ``sleep`` for testing); a broken or stalled pool (no completion for
+    ``timeout`` seconds) degrades to serial in-process execution. The
+    first point (in input order) to exhaust its attempts raises a
+    ``SweepPointError`` carrying its attempt count and backoff history —
+    with every other completed point already checkpointed.
 
     ``check=True`` attaches the full monitor suite to every point
     (strict mode: the first invariant violation surfaces as a
-    ``SweepPointError`` naming the point). Checked runs bypass the memo
-    entirely — a cached result would skip the monitors.
+    ``SweepPointError`` naming the point). Checked runs bypass memo,
+    store and journal entirely — a cached or replayed result would skip
+    the monitors.
     """
     configs = list(configs)
-    results: list[Result | None] = [None] * len(configs)
-    todo: list[tuple[int, ExperimentConfig]] = []
-    for idx, cfg in enumerate(configs):
-        hit = cached(cfg) if not check else None
-        if hit is not None:
-            results[idx] = hit
+    journal = _open_journal(journal if not check else None, resume)
+    scheduler = _Scheduler(
+        configs, check=check, store=store, journal=journal, resume=resume,
+        max_attempts=1 + max(0, retries), backoff_base=backoff_base,
+        backoff_cap=backoff_cap, timeout=timeout, sleep=sleep)
+    try:
+        todo = scheduler.collect_todo()
+        if not todo:
+            return scheduler.results
+        if max_workers is None:
+            max_workers = default_workers()
+        if max_workers <= 1 or len(todo) == 1:
+            scheduler.run_serial(todo)
         else:
-            todo.append((idx, cfg))
-    if not todo:
-        return results
-    if max_workers is None:
-        max_workers = default_workers()
-    if max_workers <= 1 or len(todo) == 1:
-        for idx, cfg in todo:
-            results[idx] = _run_point(cfg, check)
-        return results
-    if chunk_size is None:
-        # ~4 chunks per worker balances load without excessive pickling.
-        chunk_size = max(1, len(todo) // (max_workers * 4))
-    chunks = [todo[lo:lo + chunk_size]
-              for lo in range(0, len(todo), chunk_size)]
-    workers = min(max_workers, len(chunks))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(_run_chunk, [cfg for _, cfg in chunk],
-                               check)
-                   for chunk in chunks]
-        for chunk, future in zip(chunks, futures):
-            for (idx, _), result in zip(chunk, future.result()):
-                results[idx] = result
-                if not check:
-                    cache_result(result)
-    return results
+            scheduler.run_pooled(todo, max_workers, chunk_size)
+    finally:
+        if journal is not None:
+            journal.close()
+    return scheduler.results
 
 
 def prefetch(configs: Iterable[ExperimentConfig],
-             max_workers: int | None = None) -> None:
+             max_workers: int | None = None, **kwargs) -> None:
     """Warm the run cache so later ``run_experiment`` calls are instant.
 
     The figure code stays written as straightforward serial loops; calling
     ``prefetch`` with every config a figure will need turns those loops
-    into cache lookups while the simulations run in parallel.
+    into cache lookups while the simulations run in parallel. Extra
+    keyword arguments (``store``, ``journal``, ``resume``, ``retries``,
+    ...) pass through to ``run_experiments``.
     """
-    run_experiments(configs, max_workers=max_workers)
+    run_experiments(configs, max_workers=max_workers, **kwargs)

@@ -15,6 +15,11 @@ Every sweep point gets its own seed derived from the sweep seed (see
 ``parallel.derive_seed``), and all points of a sweep are dispatched through
 ``parallel.run_experiments``: simulations run across worker processes, and
 the ordered merge keeps the returned rows bit-identical to a serial run.
+
+The scheduler's fault-tolerance knobs pass straight through: ``journal=``
+checkpoints every completed point, ``resume=True`` replays an interrupted
+sweep's checkpoint file, and ``retries``/``timeout`` govern worker
+retries and pool-stall recovery (``DESIGN.md`` §11).
 """
 
 from __future__ import annotations
@@ -35,14 +40,14 @@ def _synthetic(**overrides) -> ExperimentConfig:
 
 
 def _rows(key: str, points: list, max_workers: int | None,
-          check: bool = False) -> list[dict]:
+          check: bool = False, **scheduler) -> list[dict]:
     """Simulate baseline + Pseudo+S+B for every point, merged in order."""
     configs = []
     for _, cfg in points:
         configs.append(cfg.with_scheme(BASELINE))
         configs.append(cfg.with_scheme(PSEUDO_SB))
     results = run_experiments(configs, max_workers=max_workers,
-                              check=check)
+                              check=check, **scheduler)
     rows = []
     for k, (value, _) in enumerate(points):
         base, full = results[2 * k], results[2 * k + 1]
@@ -57,31 +62,47 @@ def _rows(key: str, points: list, max_workers: int | None,
     return rows
 
 
+def _scheduler_kwargs(overrides: dict) -> dict:
+    """Split the scheduler passthrough keywords out of sweep overrides."""
+    scheduler = {}
+    for name in ("journal", "resume", "retries", "backoff_base",
+                 "backoff_cap", "timeout", "sleep", "store"):
+        if name in overrides:
+            scheduler[name] = overrides.pop(name)
+    return scheduler
+
+
 def sweep_vcs(vc_counts=(2, 4, 8), max_workers: int | None = None,
               check: bool = False, **overrides) -> list[dict]:
+    """Ablate the VC count (baseline vs Pseudo+S+B per point)."""
+    scheduler = _scheduler_kwargs(overrides)
     sweep_seed = overrides.pop("seed", 1)
     points = [(n, _synthetic(num_vcs=n,
                              seed=derive_seed(sweep_seed, "vcs", n),
                              **overrides))
               for n in vc_counts]
-    return _rows("num_vcs", points, max_workers, check)
+    return _rows("num_vcs", points, max_workers, check, **scheduler)
 
 
 def sweep_buffer_depth(depths=(2, 4, 8), max_workers: int | None = None,
                        check: bool = False, **overrides) -> list[dict]:
+    """Ablate the per-VC buffer depth (baseline vs Pseudo+S+B per point)."""
+    scheduler = _scheduler_kwargs(overrides)
     sweep_seed = overrides.pop("seed", 1)
     points = [(d, _synthetic(buffer_depth=d,
                              seed=derive_seed(sweep_seed, "buffers", d),
                              **overrides))
               for d in depths]
-    return _rows("buffer_depth", points, max_workers, check)
+    return _rows("buffer_depth", points, max_workers, check, **scheduler)
 
 
 def sweep_load(loads=(0.05, 0.15, 0.25), max_workers: int | None = None,
                check: bool = False, **overrides) -> list[dict]:
+    """Ablate the injection rate (baseline vs Pseudo+S+B per point)."""
+    scheduler = _scheduler_kwargs(overrides)
     sweep_seed = overrides.pop("seed", 1)
     points = [(load, _synthetic(rate=load,
                                 seed=derive_seed(sweep_seed, "load", load),
                                 **overrides))
               for load in loads]
-    return _rows("load", points, max_workers, check)
+    return _rows("load", points, max_workers, check, **scheduler)

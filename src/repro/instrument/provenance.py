@@ -6,6 +6,13 @@ git commit the code was at, the seed, the python/platform versions, and
 the run's wall-clock and simulated-cycles-per-second. Re-running the
 experiment described by a manifest reproduces the output bit-for-bit
 (simulations are deterministic in their config + seed).
+
+The canonical config hash computed here (``config_hash`` over
+``config_dict``) is also the identity the content-addressed result store
+builds its keys from (``repro.store.store_key`` =
+``sha256(config_sha256 : code_version : seed)``, DESIGN.md §11), so a
+manifest names exactly the store entry its run produced — ``repro
+compare`` prints that key in its report header.
 """
 
 from __future__ import annotations

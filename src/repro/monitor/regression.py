@@ -45,8 +45,11 @@ DEFAULT_RULES: list[tuple[str, float, bool, str]] = [
 ]
 
 #: Keys that identify a run rather than measure it — never compared.
+#: ``store.`` covers the result-store counter block metrics documents
+#: carry (hits/misses vary with cache temperature, not code quality).
 _IDENTITY_KEYS = ("meta.", "manifest.", ".git_sha", ".generated_unix",
-                  ".python", ".platform", ".hostname", "schema")
+                  ".python", ".platform", ".hostname", "schema", "store.",
+                  "documents.")
 
 
 def flatten(doc, prefix: str = "") -> dict[str, float]:
@@ -142,18 +145,38 @@ def compare_docs(old: dict, new: dict,
 
 def compare_files(old_path: str, new_path: str,
                   overrides: dict[str, float] | None = None) -> dict:
+    """Diff two JSON documents on disk into a regression report.
+
+    Beyond ``compare_docs``, the report names both inputs in a
+    ``documents`` block — path plus content-addressed store key
+    (``repro.store.document_key``) — so the header identifies exactly
+    which stored results were compared.
+    """
+    from ..store import document_key
     with open(old_path, encoding="utf-8") as fh:
         old = json.load(fh)
     with open(new_path, encoding="utf-8") as fh:
         new = json.load(fh)
-    return compare_docs(old, new, overrides)
+    report = compare_docs(old, new, overrides)
+    report["documents"] = {
+        "old": {"path": old_path, "store_key": document_key(old)},
+        "new": {"path": new_path, "store_key": document_key(new)},
+    }
+    return report
 
 
 def render_report(report: dict, show_ok: bool = False) -> str:
     """Human-readable regression report for the terminal / CI log."""
-    lines = [f"compared {report['compared']} metrics: "
-             f"{report['ok']} ok, {report['improved']} improved, "
-             f"{report['regressed']} regressed"]
+    lines = []
+    documents = report.get("documents")
+    if documents:
+        for tag in ("old", "new"):
+            doc = documents[tag]
+            lines.append(f"{tag}: {doc['path']} "
+                         f"[store key {doc['store_key'][:16]}]")
+    lines.append(f"compared {report['compared']} metrics: "
+                 f"{report['ok']} ok, {report['improved']} improved, "
+                 f"{report['regressed']} regressed")
     for row in report["rows"]:
         mark = "+" if row["status"] == "improved" else "!"
         lines.append(

@@ -1,0 +1,41 @@
+"""Durable, verifiable execution: result store + sweep checkpoints.
+
+This package gives the harness crash-safe memory (``DESIGN.md`` §11):
+
+* :class:`~repro.store.result_store.ResultStore` — a content-addressed
+  on-disk store keyed by ``sha256(config_sha256 : code_version : seed)``,
+  with atomic write-rename, checksum-verified reads and quarantine of
+  corrupt entries;
+* :class:`~repro.store.journal.SweepJournal` — the append-only, torn-line
+  tolerant checkpoint file behind ``--resume``;
+* :mod:`~repro.store.serialize` — exact (bit-identical) JSON round-trips
+  of ``Result`` dataclasses;
+* :mod:`~repro.store.cli` — the ``repro store ls|verify|gc|export``
+  maintenance commands.
+
+The fault-tolerant scheduler that drives these lives in
+``repro.harness.parallel``; ``repro.harness.experiment`` wires the
+in-process run memo through a process-wide default store.
+"""
+
+from .journal import SweepJournal
+from .result_store import (CODE_VERSION, ResultStore, code_version,
+                           document_key, key_from_hash, payload_checksum,
+                           store_key)
+from .serialize import (config_to_payload, payload_to_config,
+                        payload_to_result, result_to_payload)
+
+__all__ = [
+    "CODE_VERSION",
+    "ResultStore",
+    "SweepJournal",
+    "code_version",
+    "config_to_payload",
+    "document_key",
+    "key_from_hash",
+    "payload_checksum",
+    "payload_to_config",
+    "payload_to_result",
+    "result_to_payload",
+    "store_key",
+]

@@ -1,0 +1,75 @@
+"""Documentation drift check: ``docs/CLI.md`` must cover the real CLI.
+
+The reference doc is only useful while it matches the argparse tree, so
+this test walks ``repro.__main__.build_parser()`` — every subcommand at
+every nesting level, every option string — and asserts each one appears
+verbatim in ``docs/CLI.md``. Adding a flag without documenting it fails
+CI (the docs-drift contract wired into the workflow).
+"""
+
+import argparse
+import os
+
+from repro.__main__ import build_parser
+
+DOC_PATH = os.path.join(os.path.dirname(__file__), "..", "..", "docs",
+                        "CLI.md")
+
+#: Figure/table subcommands are documented as one family, not 16 separate
+#: sections; the doc must still name every member once.
+_HELP_OPTIONS = {"-h", "--help"}
+
+
+def _walk(parser, prefix=""):
+    """Yield ``(command_path, option_strings)`` for a parser tree."""
+    options = set()
+    subcommands = []
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name, child in action.choices.items():
+                subcommands.append((f"{prefix}{name}", child))
+        else:
+            options.update(action.option_strings)
+    yield prefix.rstrip(" "), options - _HELP_OPTIONS
+    for name, child in subcommands:
+        yield from _walk(child, prefix=f"{name} ")
+
+
+def _doc_text():
+    with open(DOC_PATH, encoding="utf-8") as fh:
+        return fh.read()
+
+
+class TestCliDoc:
+    def test_doc_exists(self):
+        assert os.path.exists(DOC_PATH), "docs/CLI.md is missing"
+
+    def test_every_subcommand_is_documented(self):
+        doc = _doc_text()
+        for path, _ in _walk(build_parser()):
+            if not path:
+                continue
+            leaf = path.split()[-1]
+            assert leaf in doc, (
+                f"subcommand {path!r} is not mentioned in docs/CLI.md")
+
+    def test_every_option_string_is_documented(self):
+        doc = _doc_text()
+        for path, options in _walk(build_parser()):
+            for option in sorted(options):
+                assert option in doc, (
+                    f"option {option!r} of {path or 'repro'!r} is not "
+                    f"documented in docs/CLI.md")
+
+    def test_doc_does_not_invent_subcommands(self):
+        # Every heading like `repro foo` in the doc names a real command.
+        real = {path.split()[0] for path, _ in _walk(build_parser())
+                if path}
+        doc = _doc_text()
+        for line in doc.splitlines():
+            if line.startswith("## `repro "):
+                name = line.split("`repro ", 1)[1].split("`")[0].split()[0]
+                if name.endswith("N"):  # the `figN` family heading
+                    continue
+                assert name in real, (
+                    f"docs/CLI.md documents unknown command {name!r}")

@@ -1,0 +1,82 @@
+"""Exactness tests for the result payload round trip.
+
+The store's whole value proposition — warm-cache figure runs and
+bit-identical sweep resume — reduces to ``payload_to_result`` rebuilding
+the exact ``Result`` that ``result_to_payload`` serialized, including a
+full JSON dump/load in between (the on-disk representation).
+"""
+
+import json
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.network.config import ALL_SCHEMES
+from repro.store import (code_version, key_from_hash, payload_to_config,
+                         payload_to_result, result_to_payload, store_key)
+
+
+def _config(**overrides):
+    base = dict(topology="mesh", kx=2, ky=2, concentration=1, routing="xy",
+                pattern="uniform", rate=0.05, synth_cycles=120,
+                synth_warmup=20, seed=11)
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestResultRoundTrip:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES,
+                             ids=[s.label for s in ALL_SCHEMES])
+    def test_bit_identical_through_json(self, scheme):
+        result = run_experiment(_config().with_scheme(scheme))
+        payload = json.loads(json.dumps(result_to_payload(result),
+                                        default=str))
+        rebuilt = payload_to_result(payload)
+        assert rebuilt == result  # frozen dataclass: field equality
+        assert rebuilt.config == result.config
+        assert rebuilt.energy_breakdown == result.energy_breakdown
+
+    def test_manifest_rides_along_but_monitor_report_is_dropped(self):
+        result = run_experiment(_config(seed=12), check=True)
+        assert result.monitor_report is not None
+        payload = result_to_payload(result)
+        assert "monitor_report" not in payload
+        rebuilt = payload_to_result(payload)
+        assert rebuilt.monitor_report is None
+        assert rebuilt.manifest == result.manifest
+
+    def test_unknown_schema_is_rejected(self):
+        result = run_experiment(_config(seed=13))
+        payload = result_to_payload(result)
+        payload["schema"] = "repro.result-payload/999"
+        with pytest.raises(ValueError, match="schema"):
+            payload_to_result(payload)
+
+    def test_config_round_trip_preserves_scheme_object(self):
+        cfg = _config(seed=14)
+        payload = json.loads(json.dumps(result_to_payload(
+            run_experiment(cfg))))
+        assert payload_to_config(payload["config"]) == cfg
+
+
+class TestKeyDerivation:
+    def test_key_differs_by_seed(self):
+        assert store_key(_config(seed=1)) != store_key(_config(seed=2))
+
+    def test_key_differs_by_any_config_field(self):
+        assert store_key(_config(rate=0.05)) != store_key(_config(rate=0.10))
+
+    def test_key_is_stable_for_equal_configs(self):
+        assert store_key(_config()) == store_key(_config())
+
+    def test_code_version_salt_invalidates_keys(self, monkeypatch):
+        before = store_key(_config())
+        monkeypatch.setenv("REPRO_STORE_SALT", "pc-sim-test-salt")
+        assert code_version() == "pc-sim-test-salt"
+        assert store_key(_config()) != before
+
+    def test_key_from_hash_matches_documented_definition(self):
+        import hashlib
+        key = key_from_hash("abc123", 7)
+        text = f"abc123:{code_version()}:7"
+        assert key == hashlib.sha256(text.encode()).hexdigest()
