@@ -61,6 +61,7 @@ from .harness.report import print_table, write_results
 from .harness.sweep import sweep_buffer_depth, sweep_load, sweep_vcs
 from .instrument import (CompositeProbe, FlitTracer, TimeSeriesProbe,
                          run_manifest, write_manifest)
+from .network.backend import BACKENDS, set_default_backend
 from .network.config import (ALL_SCHEMES, BASELINE, PSEUDO, PSEUDO_B,
                              PSEUDO_S, PSEUDO_SB)
 from .store.cli import add_store_parser, cmd_store
@@ -288,6 +289,14 @@ def _add_store_arg(p) -> None:
                         "the run cache (default: $REPRO_STORE)")
 
 
+def _add_backend_arg(p) -> None:
+    """--backend NAME: pick the network core for every simulation."""
+    p.add_argument("--backend", default=None, choices=list(BACKENDS),
+                   help="network core: scalar (default) or the numpy "
+                        "structure-of-arrays core (bit-identical stats; "
+                        "needs repro[fast])")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the full ``repro`` argument parser.
 
@@ -304,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
         fig_p.add_argument("--out", default=None,
                            help="also write rows + manifest to this JSON")
         _add_store_arg(fig_p)
+        _add_backend_arg(fig_p)
         fig_p.add_argument("--resume", action="store_true",
                            help="serve completed points from the warm "
                                 "store of an interrupted run (needs "
@@ -311,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
     all_p = sub.add_parser("all", help="regenerate every figure and table")
     all_p.add_argument("--workers", type=int, default=None)
     _add_store_arg(all_p)
+    _add_backend_arg(all_p)
     all_p.add_argument("--resume", action="store_true",
                        help="serve completed points from the warm store "
                             "of an interrupted run (needs --store)")
@@ -338,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="time-series window in cycles (default 64)")
         p.add_argument("--max-events", type=int, default=None,
                        help="cap stored trace events (drops past the cap)")
+        _add_backend_arg(p)
 
     run_p = sub.add_parser("run", help="run one experiment")
     add_experiment_args(run_p, "all", ["all"] + sorted(SCHEMES))
@@ -374,6 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="cycles per sweep point (default 1000; "
                               "warmup is cycles/4)")
     _add_store_arg(sweep_p)
+    _add_backend_arg(sweep_p)
     sweep_p.add_argument("--journal", default=None, metavar="PATH",
                          help="checkpoint every completed point to this "
                               "journal file as it lands")
@@ -411,6 +424,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--check", action="store_true",
                          help="run the monitored self-check and write its "
                               "metrics doc next to the report")
+    _add_backend_arg(bench_p)
+    bench_p.add_argument("--min-backend-speedup", type=float, default=None,
+                         metavar="X",
+                         help="with --gate --backend vectorized: fail "
+                              "unless the saturation-workload speedup "
+                              "geomean over the scalar core reaches X")
     _add_store_arg(bench_p)
     bench_p.add_argument("--journal", default=None, metavar="PATH",
                          help="checkpoint every timed workload row to "
@@ -444,6 +463,10 @@ def main(argv=None) -> int:
     if args.command == "store":
         return cmd_store(args)
     _activate_store(args)
+    # Install the backend before any ExperimentConfig is constructed:
+    # configs freeze the process default into their cache/store keys.
+    if getattr(args, "backend", None):
+        set_default_backend(args.backend)
     if args.command in ALL_FIGURES:
         return _cmd_figure(args)
     if args.command == "all":
@@ -460,7 +483,9 @@ def main(argv=None) -> int:
             kwargs["repeats"] = args.repeats
         run_bench(out_path=None if args.out == "-" else args.out,
                   profile=args.profile, gate=args.gate, check=args.check,
-                  journal=args.journal, resume=args.resume, **kwargs)
+                  journal=args.journal, resume=args.resume,
+                  backend=args.backend or "scalar",
+                  min_backend_speedup=args.min_backend_speedup, **kwargs)
         return 0
     if args.command == "compare":
         return _cmd_compare(args)

@@ -30,6 +30,21 @@ bit-identical with a full tracer + time-series stack attached, and (c)
 when a previous report at matching scale exists, asserts the fresh
 probes-disabled walls are within 2% of it (weighted geomean). See
 ``repro.instrument.overhead``.
+
+Timing methodology: the injection sequence of a workload is a Bernoulli
+draw per (terminal, cycle) that never depends on network state, so the
+bench pre-draws it once per workload (``_InjectionSchedule``) and replays
+it inside the timed region. The walls therefore time the simulator core,
+not the Python traffic generator, and every mode/backend of a workload
+consumes byte-identical injections. ``meta.methodology`` names this
+scheme so gates never compare walls across methodologies.
+
+``backend="vectorized"`` additionally times every workload on the numpy
+structure-of-arrays core (``repro.network.vectorized``), asserts its
+stats fingerprint is bit-identical to the scalar core's, and records
+per-workload ``vectorized_wall_s``/``speedup_vectorized`` columns plus
+saturation/overall speedup geomeans in the summary — the scalar columns
+keep their historical meaning, so the perf trajectory stays comparable.
 """
 
 from __future__ import annotations
@@ -47,6 +62,7 @@ from ..instrument import git_sha, overhead_gate, run_manifest, write_manifest
 from ..instrument.overhead import timing_gate
 from ..store import SweepJournal
 from ..network.config import BASELINE, PSEUDO_SB, NetworkConfig
+from ..network.flit import Packet
 from ..network.simulator import build_network
 from ..topology import make_topology
 from ..traffic.synthetic import SyntheticTraffic
@@ -88,20 +104,96 @@ DEFAULT_CYCLES = 1500
 DEFAULT_REPEATS = 3
 _SEED = 7
 
+#: Timing-methodology tag written to ``meta``; the timing gate only
+#: compares walls between reports with matching tags. Bump when the
+#: timed region changes meaning (e.g. "replay-1" moved traffic
+#: generation out of it).
+METHODOLOGY = "replay-1"
 
-def _simulate(scheme, rate: float, cycles: int, active: bool):
+
+class _InjectionSchedule:
+    """The pre-drawn injection sequence of one canonical workload.
+
+    A Bernoulli source draws per (terminal, cycle) independently of
+    network state, so the whole sequence can be recorded up front —
+    outside the timed region — and replayed identically into every
+    mode and backend of the workload.
+    """
+
+    def __init__(self, rate: float, cycles: int, terminals: int,
+                 packet_size: int = 5, seed: int = _SEED):
+        traffic = SyntheticTraffic("uniform", terminals, rate, packet_size,
+                                   seed=seed)
+        entries: list[tuple[int, int, int]] = []
+
+        class _Recorder:
+            cycle = 0
+
+            @staticmethod
+            def inject(packet):
+                """Record the draw instead of simulating it."""
+                entries.append((_Recorder.cycle, packet.src, packet.dst))
+
+        for cycle in range(cycles):
+            _Recorder.cycle = cycle
+            traffic.tick(_Recorder, cycle)
+        self.entries = entries
+        self.packet_size = packet_size
+
+    def replay(self) -> "_ReplayTraffic":
+        """A fresh traffic source replaying this schedule from the top."""
+        return _ReplayTraffic(self)
+
+
+class _ReplayTraffic:
+    """Traffic source injecting a recorded schedule (fresh packets)."""
+
+    def __init__(self, schedule: _InjectionSchedule):
+        self._entries = schedule.entries
+        self._size = schedule.packet_size
+        self._pos = 0
+
+    def tick(self, network, cycle: int) -> None:
+        """Inject every recorded packet due this cycle."""
+        entries, size = self._entries, self._size
+        pos, n = self._pos, len(entries)
+        while pos < n and entries[pos][0] == cycle:
+            _, src, dst = entries[pos]
+            network.inject(Packet(src, dst, size, cycle))
+            pos += 1
+        self._pos = pos
+
+    def next_injection_cycle(self, cycle: int) -> int | None:
+        """Cycle of the next pending injection (None when drained)."""
+        pos = self._pos
+        return self._entries[pos][0] if pos < len(self._entries) else None
+
+
+def _simulate(scheme, rate: float, cycles: int, active: bool,
+              backend: str = "scalar", schedule=None):
     """Run one canonical workload once; returns (stats dict, wall seconds).
 
     ``active=True`` is the shipped fast path (active sets + compiled
     routing); ``active=False`` is the exhaustive reference with dynamic
-    routing, so the cross-check covers every hot-path optimization at once.
+    routing, so the cross-check covers every hot-path optimization at
+    once. ``backend="vectorized"`` runs the numpy structure-of-arrays
+    core instead (``active`` is ignored: that core is always compiled).
+    ``schedule`` replays pre-drawn injections so the timed region covers
+    the simulator only; without one the Bernoulli source runs live.
     """
     config = NetworkConfig(num_vcs=4, buffer_depth=4, pseudo=scheme)
     topo = make_topology("mesh", 8, 8, 1)
-    net = build_network(topo, config=config, seed=_SEED, active_set=active,
-                        compiled_routing=active)
-    traffic = SyntheticTraffic("uniform", topo.num_terminals, rate, 5,
-                               seed=_SEED)
+    if backend == "vectorized":
+        from ..network.vectorized import VectorNetwork
+        net = VectorNetwork(topo, config, seed=_SEED)
+    else:
+        net = build_network(topo, config=config, seed=_SEED,
+                            active_set=active, compiled_routing=active)
+    if schedule is not None:
+        traffic = schedule.replay()
+    else:
+        traffic = SyntheticTraffic("uniform", topo.num_terminals, rate, 5,
+                                   seed=_SEED)
     net.stats.warmup_cycles = cycles // 5
     start = time.perf_counter()
     net.run(cycles, traffic)
@@ -113,22 +205,40 @@ def _simulate(scheme, rate: float, cycles: int, active: bool):
 
 
 def time_workload(scheme, rate: float, cycles: int = DEFAULT_CYCLES,
-                  repeats: int = DEFAULT_REPEATS) -> dict:
-    """Time one workload in both stepping modes and cross-check stats."""
-    active_walls, reference_walls = [], []
-    active_stats = reference_stats = None
+                  repeats: int = DEFAULT_REPEATS,
+                  backend: str = "scalar") -> dict:
+    """Time one workload in both stepping modes and cross-check stats.
+
+    With ``backend="vectorized"`` the workload is additionally timed on
+    the vectorized core against the same injection schedule, its stats
+    fingerprint is asserted bit-identical to the scalar core's, and the
+    row gains ``vectorized_wall_s`` / ``speedup_vectorized`` /
+    ``vectorized_stats_identical`` columns.
+    """
+    schedule = _InjectionSchedule(rate, cycles,
+                                  make_topology("mesh", 8, 8, 1)
+                                  .num_terminals)
+    active_walls, reference_walls, vec_walls = [], [], []
+    active_stats = reference_stats = vec_stats = None
     for _ in range(repeats):
-        active_stats, wall = _simulate(scheme, rate, cycles, active=True)
+        active_stats, wall = _simulate(scheme, rate, cycles, active=True,
+                                       schedule=schedule)
         active_walls.append(wall)
-        reference_stats, wall = _simulate(scheme, rate, cycles, active=False)
+        reference_stats, wall = _simulate(scheme, rate, cycles,
+                                          active=False, schedule=schedule)
         reference_walls.append(wall)
+        if backend == "vectorized":
+            vec_stats, wall = _simulate(scheme, rate, cycles, active=True,
+                                        backend="vectorized",
+                                        schedule=schedule)
+            vec_walls.append(wall)
     if active_stats != reference_stats:
         raise AssertionError(
             f"fast-path stats diverged from the exhaustive reference for "
             f"{scheme.label}@{rate}")
     wall_s = min(active_walls)
     reference_wall_s = min(reference_walls)
-    return {
+    row = {
         "scheme": scheme.label,
         "rate": rate,
         "cycles": cycles,
@@ -138,6 +248,19 @@ def time_workload(scheme, rate: float, cycles: int = DEFAULT_CYCLES,
         "speedup_vs_reference": round(reference_wall_s / wall_s, 3),
         "stats_identical": True,
     }
+    if backend == "vectorized":
+        if vec_stats != active_stats:
+            diverged = sorted(
+                k for k in set(vec_stats) | set(active_stats)
+                if vec_stats.get(k) != active_stats.get(k))
+            raise AssertionError(
+                f"vectorized-backend stats diverged from the scalar core "
+                f"for {scheme.label}@{rate}: {diverged}")
+        vec_wall_s = min(vec_walls)
+        row["vectorized_wall_s"] = round(vec_wall_s, 4)
+        row["speedup_vectorized"] = round(wall_s / vec_wall_s, 3)
+        row["vectorized_stats_identical"] = True
+    return row
 
 
 def _weighted_geomean_speedup(workloads: list[dict], baseline_key: str,
@@ -151,6 +274,30 @@ def _weighted_geomean_speedup(workloads: list[dict], baseline_key: str,
             return None
         weight = weights[row["name"]]
         log_sum += weight * math.log(base / row["wall_s"])
+        weight_sum += weight
+    if not weight_sum:
+        return None
+    return round(math.exp(log_sum / weight_sum), 3)
+
+
+def _vectorized_speedup(workloads: list[dict], weights: dict[str, int],
+                        sat_only: bool) -> float | None:
+    """Weighted geomean of scalar-vs-vectorized wall ratios.
+
+    ``sat_only`` restricts to the saturation workloads (weight > 1) —
+    the metric the backend gate enforces, because sweep wall-clock is
+    saturation-dominated.
+    """
+    log_sum = 0.0
+    weight_sum = 0
+    for row in workloads:
+        weight = weights[row["name"]]
+        if sat_only and weight <= 1:
+            continue
+        vec = row.get("vectorized_wall_s")
+        if vec is None:
+            return None
+        log_sum += weight * math.log(row["wall_s"] / vec)
         weight_sum += weight
     if not weight_sum:
         return None
@@ -174,7 +321,9 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
               out_path: str | None = "BENCH_core.json",
               show: bool = True, profile: bool = False,
               gate: bool = False, check: bool = False,
-              journal: str | None = None, resume: bool = False) -> dict:
+              journal: str | None = None, resume: bool = False,
+              backend: str = "scalar",
+              min_backend_speedup: float | None = None) -> dict:
     """Time every canonical workload; optionally write ``BENCH_core.json``.
 
     ``check=True`` additionally runs the monitored self-check
@@ -186,6 +335,11 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
     journaled rows of an interrupted earlier bench instead of re-timing
     them (the resumed rows carry the walls the interrupted run measured —
     fine for finishing a report, not for an apples-to-apples perf gate).
+
+    ``backend="vectorized"`` also times every workload on the vectorized
+    core (scalar-parity asserted; per-row speedup columns, summary
+    geomeans). With ``gate=True`` and ``min_backend_speedup`` set, the
+    run fails unless the saturation-workload speedup geomean reaches it.
     """
     previous = None
     if gate and out_path is not None and os.path.exists(out_path):
@@ -204,7 +358,8 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
     weights = {name: weight for name, _, _, weight in CANONICAL_WORKLOADS}
     at_default_scale = cycles == DEFAULT_CYCLES
     for name, scheme, rate, weight in CANONICAL_WORKLOADS:
-        journal_key = f"bench:{name}:cycles={cycles}:repeats={repeats}"
+        journal_key = (f"bench:{name}:cycles={cycles}:repeats={repeats}"
+                       f":backend={backend}")
         resumed = completed_rows.get(journal_key)
         if resumed is not None:
             workloads.append(resumed)
@@ -213,7 +368,8 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
                       f"from journal)")
             continue
         row = {"name": name, "weight": weight,
-               **time_workload(scheme, rate, cycles, repeats)}
+               **time_workload(scheme, rate, cycles, repeats,
+                               backend=backend)}
         if at_default_scale:
             row["pre_change_wall_s"] = PRE_CHANGE_WALL_S[name]
             row["speedup_vs_pre_change"] = round(
@@ -226,13 +382,25 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
         if show:
             speedup = row.get("speedup_vs_pr1")
             trail = f"  {speedup}x vs PR1" if speedup is not None else ""
+            vec = row.get("speedup_vectorized")
+            if vec is not None:
+                trail += (f"  vec {row['vectorized_wall_s']:.3f}s "
+                          f"({vec}x)")
             print(f"{name:32s} {row['wall_s']:7.3f}s  "
                   f"(reference {row['reference_wall_s']:7.3f}s){trail}")
     if bench_journal is not None:
         bench_journal.close()
     summary = {}
+    if backend == "vectorized":
+        summary["speedup_vectorized_sat"] = _vectorized_speedup(
+            workloads, weights, sat_only=True)
+        summary["speedup_vectorized_all"] = _vectorized_speedup(
+            workloads, weights, sat_only=False)
+        if show and summary["speedup_vectorized_sat"] is not None:
+            print(f"{'vectorized speedup (sat geomean)':32s} "
+                  f"{summary['speedup_vectorized_sat']:7.3f}x")
     if at_default_scale:
-        summary = {
+        summary.update({
             "weighted_speedup_vs_pr1": _weighted_geomean_speedup(
                 workloads, "pr1_wall_s", weights),
             "weighted_speedup_vs_pre_change": _weighted_geomean_speedup(
@@ -240,7 +408,7 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
             "weight_note": ("geometric means weighted per workload "
                             "(saturation x3): sweep wall-clock is "
                             "saturation-dominated."),
-        }
+        })
         if show and summary["weighted_speedup_vs_pr1"] is not None:
             print(f"{'weighted (sat x3) vs PR1':32s} "
                   f"{summary['weighted_speedup_vs_pr1']:7.3f}x")
@@ -253,6 +421,8 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
             "cycles": cycles,
             "repeats": repeats,
             "seed": _SEED,
+            "backend": backend,
+            "methodology": METHODOLOGY,
             "pre_change_note": (
                 "pre_change_wall_s columns replay the measurements taken "
                 "against the pre-active-set core (commit b4c3d8c), "
@@ -265,9 +435,12 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
     }
     if gate:
         # Scale-independent checks always run; the timing comparison only
-        # applies against a previous report at the same cycle count.
+        # applies against a previous report at the same cycle count and
+        # timing methodology (walls across methodologies don't compare).
         gate_report = overhead_gate(cycles=min(cycles, 400), show=show)
-        if previous is not None and previous["meta"]["cycles"] == cycles:
+        if (previous is not None
+                and previous["meta"]["cycles"] == cycles
+                and previous["meta"].get("methodology") == METHODOLOGY):
             gate_report["timing"] = timing_gate(
                 workloads, previous["workloads"], weights)
             if show and gate_report["timing"].get("applied"):
@@ -275,7 +448,29 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
                       f" vs previous report (threshold "
                       f"{gate_report['timing']['threshold']:.0%})")
         elif show:
-            print("timing gate: skipped (no previous report at this scale)")
+            print("timing gate: skipped (no previous report at this "
+                  "scale/methodology)")
+        if backend == "vectorized":
+            # Parity already hard-asserted per workload in time_workload;
+            # record it, plus the speedup floor when one was requested.
+            sat = summary.get("speedup_vectorized_sat")
+            gate_report["backend"] = {
+                "backend": backend,
+                "stats_identical": all(
+                    row.get("vectorized_stats_identical", False)
+                    for row in workloads),
+                "speedup_vectorized_sat": sat,
+                "min_backend_speedup": min_backend_speedup,
+            }
+            if (min_backend_speedup is not None
+                    and (sat is None or sat < min_backend_speedup)):
+                raise AssertionError(
+                    f"vectorized-backend gate: saturation speedup geomean "
+                    f"{sat} below the required {min_backend_speedup}x")
+            if show:
+                print(f"backend gate: vectorized parity ok, sat speedup "
+                      f"{sat}x" + (f" (floor {min_backend_speedup}x)"
+                                   if min_backend_speedup else ""))
         report["overhead_gate"] = gate_report
     if check:
         from ..monitor import metrics_path, self_check, write_metrics
@@ -297,6 +492,7 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
             fh.write("\n")
         manifest = run_manifest(
             {"driver": "bench", "cycles": cycles, "repeats": repeats,
+             "backend": backend, "methodology": METHODOLOGY,
              "workloads": [name for name, *_ in CANONICAL_WORKLOADS]},
             seed=_SEED, wall_s=time.perf_counter() - start_wall)
         write_manifest(manifest, out_path)

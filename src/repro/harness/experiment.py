@@ -17,6 +17,7 @@ from dataclasses import dataclass, field, replace
 from ..energy import DEFAULT_ENERGY_MODEL
 from ..evc import EvcMesh, EvcRouting
 from ..instrument import run_manifest
+from ..network.backend import resolve_backend
 from ..network.config import NetworkConfig, PseudoCircuitConfig
 from ..network.simulator import Network
 from ..topology import make_topology
@@ -50,11 +51,19 @@ class ExperimentConfig:
     synth_warmup: int = 300
     mshrs: int = 4   # NIC self-throttling during trace replay
     seed: int = 1
+    # Network core: "scalar" or "vectorized"; None picks up the process
+    # default (repro.network.backend.set_default_backend).
+    backend: str | None = None
 
     def __post_init__(self):
         if (self.benchmark is None) == (self.pattern is None):
             raise ValueError(
                 "configure exactly one of benchmark= or pattern=")
+        # Resolve the backend at construction so equality, run-cache and
+        # store keys always carry a concrete backend name — results from
+        # different backends never alias, whatever the process default
+        # was when either was computed.
+        object.__setattr__(self, "backend", resolve_backend(self.backend))
 
     @property
     def label(self) -> str:
@@ -145,22 +154,33 @@ def default_store():
 
 
 def build_network(config: ExperimentConfig, probe=None) -> Network:
-    """Construct the simulated network one experiment point describes."""
+    """Construct the simulated network one experiment point describes.
+
+    ``config.backend`` picks the core: the scalar object-per-router
+    ``Network`` or the numpy ``VectorNetwork`` (bit-identical stats; see
+    ARCHITECTURE.md "Backends"). Configurations the vectorized core does
+    not support raise ``BackendUnsupportedError`` rather than silently
+    falling back.
+    """
     net_cfg = NetworkConfig(
         num_vcs=config.num_vcs, buffer_depth=config.buffer_depth,
         pseudo=config.scheme,
         mshrs=config.mshrs if config.benchmark is not None else 0)
+    if resolve_backend(config.backend) == "vectorized":
+        from ..network.vectorized import VectorNetwork
+        cls = VectorNetwork
+    else:
+        cls = Network
     if config.topology == "evc_mesh":
         topo = EvcMesh(config.kx, config.ky, config.concentration)
         routing = EvcRouting(topo)
-        return Network(topo, net_cfg, routing=routing,
-                       vc_policy=config.vc_policy, seed=config.seed,
-                       probe=probe)
-    topo = make_topology(config.topology, config.kx, config.ky,
-                         config.concentration)
-    return Network(topo, net_cfg, routing=config.routing,
-                   vc_policy=config.vc_policy, seed=config.seed,
-                   probe=probe)
+    else:
+        topo = make_topology(config.topology, config.kx, config.ky,
+                             config.concentration)
+        routing = config.routing
+    return cls(topo, net_cfg, routing=routing,
+               vc_policy=config.vc_policy, seed=config.seed,
+               probe=probe)
 
 
 def run_experiment(config: ExperimentConfig, *, use_cache: bool = True,

@@ -1,0 +1,66 @@
+"""Backend selection for the network core.
+
+Two interchangeable cores implement the same cycle-level contract (see
+ARCHITECTURE.md "Backends"): the scalar object-per-router core in
+``network/simulator.py`` and the vectorized structure-of-arrays core in
+``network/vectorized/``. Both produce bit-identical ``NetworkStats``
+fingerprints for every supported configuration; the parity suite under
+``tests/network/test_vectorized_parity.py`` locks this in.
+
+The vectorized core needs numpy, which is an *optional* runtime
+dependency (``pip install repro[fast]``). ``require_numpy`` converts the
+bare ImportError into an actionable message; ``BackendUnsupportedError``
+marks configurations the vectorized core deliberately refuses (probes,
+non-tabulable routing, multidrop channels) so callers fall back to the
+scalar core explicitly instead of getting silently-different semantics.
+"""
+
+from __future__ import annotations
+
+BACKENDS = ("scalar", "vectorized")
+
+#: Process-wide default used when a config leaves ``backend`` unset.
+_default_backend = "scalar"
+
+
+class BackendUnsupportedError(RuntimeError):
+    """A feature the selected network backend deliberately does not support."""
+
+
+def resolve_backend(name: str | None) -> str:
+    """Validate ``name`` and substitute the process default for None."""
+    if name is None:
+        return _default_backend
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown network backend {name!r}; expected one of {BACKENDS}")
+    return name
+
+
+def set_default_backend(name: str) -> str:
+    """Set the process-wide default backend; returns the previous one."""
+    global _default_backend
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown network backend {name!r}; expected one of {BACKENDS}")
+    previous = _default_backend
+    _default_backend = name
+    return previous
+
+
+def default_backend() -> str:
+    """The backend used when configs leave ``backend`` unset."""
+    return _default_backend
+
+
+def require_numpy():
+    """Import and return numpy, or raise an actionable ImportError."""
+    try:
+        import numpy
+    except ImportError as exc:  # pragma: no cover - depends on environment
+        raise ImportError(
+            "the vectorized network backend requires numpy, which is an "
+            "optional dependency; install it with `pip install repro[fast]` "
+            "(or `pip install numpy`), or rerun with --backend scalar"
+        ) from exc
+    return numpy

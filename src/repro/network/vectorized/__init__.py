@@ -1,0 +1,6 @@
+"""Vectorized structure-of-arrays network backend (requires numpy)."""
+
+from .core import VectorNetwork
+from .layout import Layout, build_layout
+
+__all__ = ["Layout", "VectorNetwork", "build_layout"]

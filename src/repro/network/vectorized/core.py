@@ -1,0 +1,1560 @@
+"""Vectorized structure-of-arrays network core.
+
+``VectorNetwork`` implements the same cycle-level contract as the scalar
+``network.simulator.Network`` (see ARCHITECTURE.md "Backends") but steps
+the *whole chip* per cycle as batched numpy array operations instead of
+per-object method dispatch. All per-(router, port, vc) state lives in
+flat int64/bool arrays indexed by the id spaces of ``layout.Layout``;
+routing is an array gather over the compiled tables; round-robin
+arbitration is the same rotate-and-isolate bit math as
+``network.arbiters.RoundRobinArbiter``, evaluated for many arbiters at
+once. Every supported configuration produces bit-identical
+``NetworkStats`` fingerprints to the scalar core (locked in by
+``tests/network/test_vectorized_parity.py``).
+
+Event flow between cycles uses bucketed queues (dict keyed by cycle,
+values are lists of index arrays): flit arrivals, credit returns and
+ejections are appended as whole batches at traversal time and drained
+in one concatenation when their cycle comes. Arrival batches are
+stable-sorted by link id, reproducing the scalar phase-3 ascending
+link-id tick order exactly.
+
+Deliberately unsupported (raising ``BackendUnsupportedError``):
+instrumentation probes/monitors, non-tabulable routing algorithms,
+multidrop (MECS) channels, non-roundrobin arbiters, and VC policies
+other than dynamic/static — use the scalar backend for those.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ...core.pseudo_circuit import Termination
+from ...metrics.stats import NetworkStats
+from ...routing import compile_routing, make_routing
+from ...topology.base import Topology
+from ...vcalloc import make_vc_policy
+from ..buffers import BufferOverflowError
+from ..config import NetworkConfig
+from ..flit import Packet
+from ..router import ProtocolError
+from .layout import build_layout
+
+from ..backend import BackendUnsupportedError, require_numpy
+
+
+class VectorNetwork:
+    """A complete simulated on-chip network, stepped as array ops."""
+
+    def __init__(self, topology: Topology, config: NetworkConfig,
+                 routing="xy", vc_policy="dynamic", seed: int = 1,
+                 stats: NetworkStats | None = None,
+                 active_set: bool = True, compiled_routing: bool = True,
+                 probe=None):
+        np = require_numpy()
+        self._np = np
+        if probe is not None:
+            raise BackendUnsupportedError(
+                "the vectorized backend does not support instrumentation "
+                "probes; use --backend scalar")
+        if not compiled_routing:
+            raise BackendUnsupportedError(
+                "the vectorized backend requires compiled routing tables "
+                "(compiled_routing=True); use --backend scalar")
+        if config.arbiter_kind != "roundrobin":
+            raise BackendUnsupportedError(
+                f"the vectorized backend supports only roundrobin "
+                f"arbiters, not {config.arbiter_kind!r}; use "
+                f"--backend scalar")
+        self.topology = topology
+        self.config = config
+        if isinstance(routing, str):
+            routing = make_routing(routing, topology)
+        if isinstance(vc_policy, str):
+            vc_policy = make_vc_policy(vc_policy)
+        self.routing = routing
+        self.vc_policy = vc_policy
+        if vc_policy.name not in ("dynamic", "static"):
+            raise BackendUnsupportedError(
+                f"the vectorized backend supports only the dynamic and "
+                f"static VC policies, not {vc_policy.name!r}; use "
+                f"--backend scalar")
+        self._static_vc = vc_policy.name == "static"
+        for channel in topology.channels():
+            if len(channel.endpoints) != 1:
+                raise BackendUnsupportedError(
+                    "the vectorized backend supports only point-to-point "
+                    "channels (one endpoint); use --backend scalar")
+        self.compiled_routing = compile_routing(routing, topology,
+                                                config.num_vcs)
+        if self.compiled_routing is None:
+            raise BackendUnsupportedError(
+                f"the vectorized backend requires a tabulable routing "
+                f"algorithm; {type(routing).__name__} is dynamic-only — "
+                f"use --backend scalar")
+        self.stats = stats if stats is not None else NetworkStats()
+        self.rng = random.Random(seed)
+        self.cycle = 0
+
+        lay = build_layout(topology, config, self.compiled_routing)
+        self._lay = lay
+        R, T, V, D = lay.R, lay.T, lay.V, lay.D
+        Pi, Po = lay.Pi, lay.Po
+        self._R, self._T, self._V, self._D = R, T, V, D
+        self._Pi, self._Po = Pi, Po
+        NIP, NIVC = lay.NIP, lay.NIVC
+        NOP, NOVC = lay.NOP, lay.NOVC
+        self._NIP, self._NIVC = NIP, NIVC
+        self._NOP, self._NOVC = NOP, NOVC
+        i64 = np.int64
+        self._arV = np.arange(V, dtype=i64)
+
+        # Input VC state (vc.VCState: 0 idle, 1 va, 2 active).
+        self.vc_state = np.zeros(NIVC, dtype=i64)
+        self.vc_out_port = np.full(NIVC, -1, dtype=i64)   # local out port
+        self.vc_out_opid = np.full(NIVC, -1, dtype=i64)   # global out port
+        self.vc_out_vc = np.full(NIVC, -1, dtype=i64)
+        self.vc_out_cred = np.zeros(NIVC, dtype=i64)      # credit index
+        # Input buffers: fixed-capacity rings of flit pool ids.
+        self.buf_fid = np.zeros((NIVC, D), dtype=i64)
+        self.buf_head = np.zeros(NIVC, dtype=i64)
+        self.buf_len = np.zeros(NIVC, dtype=i64)
+        # Pseudo-circuit registers (per input port) and output holders.
+        self.pc_in_vc = np.full(NIP, -1, dtype=i64)
+        self.pc_out_port = np.full(NIP, -1, dtype=i64)
+        self.pc_valid = np.zeros(NIP, dtype=bool)
+        self.ip_st = np.full(NIP, -1, dtype=i64)          # st_busy_cycle
+        self.ip_last_out = np.full(NIP, -1, dtype=i64)
+        self.ip_last_pair = np.full(NIP, -1, dtype=i64)   # src*T + dst
+        self.op_st = np.full(NOP, -1, dtype=i64)
+        self.op_holder = np.full(NOP, -1, dtype=i64)      # local in port
+        self.op_hist = np.full(NOP, -1, dtype=i64)        # history register
+        # Arbiter rotation state.
+        self.in_arb_next = np.zeros(NIP, dtype=i64)
+        self.out_arb_next = np.zeros(NOP, dtype=i64)
+        # Unified credit space: router output VCs then NIC inject VCs.
+        self.cred = lay.cred_init.copy()
+        self.cred_free = np.ones(lay.NCRED, dtype=bool)   # owner is None
+        self._credview = self.cred[:NOVC].reshape(NOP, V)
+
+        # Flit pool (grown on demand).
+        self._fcap = 1024
+        self.f_pkt = np.zeros(self._fcap, dtype=i64)
+        self.f_head = np.zeros(self._fcap, dtype=bool)
+        self.f_tail = np.zeros(self._fcap, dtype=bool)
+        self.f_vc = np.full(self._fcap, -1, dtype=i64)
+        self.f_ready = np.zeros(self._fcap, dtype=i64)
+        self._nflits = 0
+        # Packet pool.
+        self._pcap = 512
+        self.p_src = np.zeros(self._pcap, dtype=i64)
+        self.p_dst = np.zeros(self._pcap, dtype=i64)
+        self.p_size = np.zeros(self._pcap, dtype=i64)
+        self.p_choice = np.zeros(self._pcap, dtype=i64)
+        self.p_create = np.zeros(self._pcap, dtype=i64)
+        self.p_inject = np.full(self._pcap, -1, dtype=i64)
+        self.p_hops = np.zeros(self._pcap, dtype=i64)
+        self.p_sa = np.zeros(self._pcap, dtype=i64)
+        self.p_buf = np.zeros(self._pcap, dtype=i64)
+        self.p_rx = np.zeros(self._pcap, dtype=i64)
+        # src * T + dst, precomputed at inject: the e2e-repeat stat
+        # compares one gather per traversal instead of two.
+        self.p_pair = np.zeros(self._pcap, dtype=i64)
+        self.p_obj: list[Packet] = []
+
+        # NIC send state: one in-progress transmission per inject VC.
+        self.snd_pid = np.full((T, V), -1, dtype=i64)
+        self.snd_next = np.zeros((T, V), dtype=i64)
+        self.snd_left = np.zeros((T, V), dtype=i64)
+        self.send_rr = np.zeros(T, dtype=i64)
+        self.outstanding = np.zeros(T, dtype=i64)
+        from collections import deque
+        self._queues = [deque() for _ in range(T)]
+        self.hq_valid = np.zeros(T, dtype=bool)
+        self.hq_choice = np.zeros(T, dtype=i64)
+        self.hq_dst = np.zeros(T, dtype=i64)
+        self._num_queued = 0
+        self._sending_count = 0
+        # Per-terminal injection RNGs, drawn in the same order as
+        # Network._build_nics so o1turn route choices match bit-for-bit.
+        self.nic_rngs = [random.Random(self.rng.getrandbits(32))
+                         for _ in range(T)]
+
+        # Bucketed event queues: cycle -> list of index-array batches.
+        self._arr_bucket: dict[int, list] = {}
+        self._cred_bucket: dict[int, list] = {}
+        self._ej_bucket: dict[int, list] = {}
+        self._ej_pending = 0
+        self._buffered = 0
+        self._r_buffered = np.zeros(R, dtype=i64)
+        # Scratch arrays reused across cycles (reset after each use).
+        self._smap = np.zeros(NIP, dtype=i64)       # port -> stage1 ivc
+        self._port_mask = np.zeros(NIP, dtype=i64)  # SA request VC masks
+        self._omask = np.zeros(NOP, dtype=i64)      # stage2 request masks
+        self._iscand = np.zeros(NIVC, dtype=bool)
+
+        # Hoisted config flags.
+        self._pc_enabled = config.pseudo.enabled
+        self._pc_speculation = config.pseudo.speculation
+        self._pc_bypass = config.pseudo.buffer_bypass
+        self._cd = max(config.credit_delay, 1)
+        self._mshrs = config.mshrs
+        self._iq = config.inject_queue
+        # Uniform channel latency (the common case): traversal batches
+        # can compute one scalar arrival cycle instead of per-flit.
+        vlat = lay.op_latency[lay.op_valid]
+        self._unilat = (int(vlat[0])
+                        if vlat.size and bool((vlat == vlat[0]).all())
+                        else None)
+        # Every route choice spanning the full VC window lets the VC
+        # policies skip the per-row range masking.
+        self._fullrange = bool((lay.route_lo == 0).all()
+                               and (lay.route_hi == self._V).all())
+        # Per-terminal count of in-progress transmissions (fast row scan
+        # for the NIC send phase) and a shared empty index array.
+        self._snd_cnt = np.zeros(T, dtype=i64)
+        self._empty_i64 = np.empty(0, dtype=i64)
+        # Shared identity ramp: hot helpers slice this instead of
+        # allocating a fresh arange per call (views are read-only
+        # by convention there).
+        self._ramp = np.arange(max(lay.NIVC, lay.NCRED), dtype=i64)
+        # Largest possible credit count anywhere (ejection buffers can
+        # be deeper than router buffers): bounds the VA sort keys.
+        self._credmax = int(lay.cred_init.max())
+        # Port-space base maps: crossing between the input and output
+        # port id spaces of one router becomes a single gather.
+        self._ip_opbase = (np.arange(NIP, dtype=i64) // Pi) * Po
+        self._op_ipbase = (np.arange(NOP, dtype=i64) // Po) * Pi
+        # Round-robin grant table: when every arbiter is small enough,
+        # grants for all (size, mask, next) triples are precomputed with
+        # the exact RoundRobinArbiter formula, turning ``_rr_pick`` into
+        # one gather.
+        S = max(V, Pi)
+        if S <= 8:
+            tab = np.zeros((S + 1) * 256 * 8, dtype=i64)
+            for size in range(1, S + 1):
+                full = (1 << size) - 1
+                for mask in range(1, full + 1):
+                    for nx in range(size):
+                        rot = ((mask >> nx) | (mask << (size - nx))) & full
+                        cand = (rot & -rot).bit_length() - 1 + nx
+                        if cand >= size:
+                            cand -= size
+                        tab[(size * 256 + mask) * 8 + nx] = cand
+            self._rr_tab = tab
+        else:
+            self._rr_tab = None
+
+    # -- pools ----------------------------------------------------------------
+
+    def _grow_flits(self, need: int) -> None:
+        np = self._np
+        cap = self._fcap
+        while cap < need:
+            cap *= 2
+        for name in ("f_pkt", "f_head", "f_tail", "f_vc", "f_ready"):
+            old = getattr(self, name)
+            new = np.zeros(cap, dtype=old.dtype)
+            new[:self._fcap] = old
+            setattr(self, name, new)
+        self._fcap = cap
+
+    def _grow_packets(self, need: int) -> None:
+        np = self._np
+        cap = self._pcap
+        while cap < need:
+            cap *= 2
+        for name in ("p_src", "p_dst", "p_size", "p_choice", "p_create",
+                     "p_inject", "p_hops", "p_sa", "p_buf", "p_rx",
+                     "p_pair"):
+            old = getattr(self, name)
+            new = np.zeros(cap, dtype=old.dtype)
+            new[:self._pcap] = old
+            setattr(self, name, new)
+        self._pcap = cap
+
+    # -- driving --------------------------------------------------------------
+
+    def inject(self, packet: Packet) -> None:
+        """Hand a packet to its source NIC (mirrors Nic.enqueue)."""
+        t = packet.src
+        q = self._queues[t]
+        if 0 < self._iq <= len(q):
+            raise RuntimeError(
+                f"NIC {t}: source queue overflow ({self._iq})")
+        self.routing.on_inject(packet, self.nic_rngs[t])
+        pk = len(self.p_obj)
+        if pk >= self._pcap:
+            self._grow_packets(pk + 1)
+        self.p_obj.append(packet)
+        self.p_src[pk] = packet.src
+        self.p_dst[pk] = packet.dst
+        self.p_pair[pk] = packet.src * self._T + packet.dst
+        self.p_size[pk] = packet.size
+        self.p_choice[pk] = packet.route_choice
+        self.p_create[pk] = packet.create_cycle
+        if not q:
+            self.hq_valid[t] = True
+            self.hq_choice[t] = packet.route_choice
+            self.hq_dst[t] = packet.dst
+        q.append(pk)
+        self._num_queued += 1
+
+    def step(self) -> None:
+        """Advance the whole network by one cycle."""
+        np = self._np
+        c = self.cycle
+        batch = self._cred_bucket.pop(c, None)
+        if batch is not None:
+            idx = batch[0] if len(batch) == 1 else np.concatenate(batch)
+            np.add.at(self.cred, idx, 1)
+        ej = self._ej_bucket.pop(c, None)
+        if ej is not None:
+            if len(ej) == 1:
+                terms, fids = ej[0]
+            else:
+                terms = np.concatenate([b[0] for b in ej])
+                fids = np.concatenate([b[1] for b in ej])
+            self._eject(c, terms, fids)
+        arr = self._arr_bucket.pop(c, None)
+        arrivals = None
+        if arr is not None:
+            if len(arr) == 1:
+                links, dests, fids = arr[0]
+            else:
+                links = np.concatenate([b[0] for b in arr])
+                dests = np.concatenate([b[1] for b in arr])
+                fids = np.concatenate([b[2] for b in arr])
+            if len(links) > 1:
+                order = links.argsort(kind="stable")
+                dests = dests[order]
+                fids = fids[order]
+            arrivals = (dests, fids)
+        if self._buffered or arrivals is not None:
+            self._step_routers(c, arrivals)
+        if self._num_queued or self._sending_count:
+            self._tick_inject(c)
+        self.cycle = c + 1
+
+    def _next_event_cycle(self) -> float:
+        nxt = math.inf
+        for bucket in (self._arr_bucket, self._cred_bucket,
+                       self._ej_bucket):
+            if bucket:
+                k = min(bucket)
+                if k < nxt:
+                    nxt = k
+        return nxt
+
+    def _try_fast_forward(self, bound: int,
+                          traffic_next: int | None) -> None:
+        if self._buffered or self._num_queued or self._sending_count:
+            return
+        nxt = self._next_event_cycle()
+        if traffic_next is not None and traffic_next < nxt:
+            nxt = traffic_next
+        target = bound if nxt == math.inf else min(bound, int(nxt))
+        if target > self.cycle:
+            self.cycle = target
+
+    def fast_forward(self, bound: int,
+                     traffic_next: int | None = None) -> None:
+        """Skip to the next scheduled event if nothing acts per-cycle."""
+        self._try_fast_forward(bound, traffic_next)
+
+    def run(self, cycles: int, traffic=None) -> NetworkStats:
+        """Run for ``cycles`` cycles, ticking ``traffic`` once per cycle."""
+        end = self.cycle + cycles
+        next_injection = (getattr(traffic, "next_injection_cycle", None)
+                          if traffic is not None else None)
+        while self.cycle < end:
+            if traffic is not None:
+                traffic.tick(self, self.cycle)
+            self.step()
+            if traffic is None:
+                self._try_fast_forward(end, None)
+            elif next_injection is not None:
+                self._try_fast_forward(end, next_injection(self.cycle))
+        return self.stats
+
+    def drain(self, max_cycles: int = 1_000_000) -> NetworkStats:
+        """Run without new traffic until every packet is delivered."""
+        deadline = self.cycle + max_cycles
+        while not self.quiescent():
+            if self.cycle >= deadline:
+                raise RuntimeError(
+                    f"network failed to drain within {max_cycles} cycles "
+                    f"({self.in_flight_packets()} packets left)")
+            self.step()
+            if not self.quiescent():
+                self._try_fast_forward(deadline, None)
+        return self.stats
+
+    # -- queries --------------------------------------------------------------
+
+    def in_flight_packets(self) -> int:
+        return self._num_queued + (self.stats.injected_packets
+                                   - self.stats.ejected_packets)
+
+    def quiescent(self) -> bool:
+        if self._num_queued or self._sending_count or self._ej_pending:
+            return False
+        stats = self.stats
+        return stats.injected_packets == stats.ejected_packets
+
+    def bind_probe(self, probe) -> None:
+        raise BackendUnsupportedError(
+            "the vectorized backend does not support instrumentation "
+            "probes or monitors; use --backend scalar")
+
+    def check_invariants(self) -> None:
+        """Assert pseudo-circuit and credit invariants (tests only)."""
+        np = self._np
+        lay = self._lay
+        valid = (self.pc_valid).nonzero()[0]
+        outs = (valid // self._Pi) * self._Po + self.pc_out_port[valid]
+        if len(np.unique(outs)) != len(outs):
+            raise AssertionError("two valid circuits share an output")
+        expected = np.full(self._NOP, -1, dtype=np.int64)
+        expected[outs] = valid % self._Pi
+        if not np.array_equal(expected, self.op_holder):
+            raise AssertionError("pc_holder out of sync with registers")
+        limit = lay.cred_init
+        if ((self.cred < 0) | (self.cred > limit)).any():
+            raise AssertionError("credit counter out of range")
+        occ = (self.buf_len > 0).reshape(self._R, -1).any(axis=1)
+        if not np.array_equal(occ, self._r_buffered > 0):
+            raise AssertionError("router occupancy counters out of sync")
+
+    # -- ejection (NIC receive side) ------------------------------------------
+
+    def _eject(self, c: int, terms, fids) -> None:
+        """Process ejection arrivals due this cycle (Nic.tick_eject)."""
+        np = self._np
+        stats = self.stats
+        n = len(fids)
+        self._ej_pending -= n
+        # Free the reassembly buffer immediately; the credit lands at the
+        # router's ejection port after the configured delay.
+        ci = self._lay.ej_opid[terms] * self._V + self.f_vc[fids]
+        self._cred_bucket.setdefault(c + self._cd, []).append(ci)
+        # At most one flit per packet per cycle (a packet's flits cross
+        # their final link on distinct cycles), so plain fancy indexing
+        # replaces the scatter-add.
+        pks = self.f_pkt[fids]
+        rx = self.p_rx[pks] + 1
+        self.p_rx[pks] = rx
+        tidx = (self.f_tail[fids]).nonzero()[0]
+        if not len(tidx):
+            return
+        tpk = pks[tidx]
+        sizes = self.p_size[tpk]
+        if (rx[tidx] != sizes).any():
+            raise RuntimeError(
+                "NIC: tail arrived before all flits of its packet")
+        stats.ejected_packets += len(tpk)
+        stats.ejected_flits += int(sizes.sum())
+        if c >= stats.warmup_cycles:
+            lats = c - self.p_create[tpk]
+            stats.measured_packets += len(tpk)
+            stats.total_latency += int(lats.sum())
+            stats.total_network_latency += int(
+                (c - self.p_inject[tpk]).sum())
+            stats.total_hops += int(self.p_hops[tpk].sum())
+            hist = stats.latency_histogram
+            for lat in lats.tolist():
+                hist[lat] = hist.get(lat, 0) + 1
+        np.subtract.at(self.outstanding, self.p_src[tpk], 1)
+        objs = self.p_obj
+        for k in tpk.tolist():
+            pkt = objs[k]
+            pkt.eject_cycle = c
+            pkt.inject_cycle = int(self.p_inject[k])
+            pkt.hops = int(self.p_hops[k])
+            pkt.sa_bypass_hops = int(self.p_sa[k])
+            pkt.buf_bypass_hops = int(self.p_buf[k])
+
+    # -- injection (NIC send side) --------------------------------------------
+
+    def _tick_inject(self, c: int) -> None:
+        """Per-NIC: start the head-of-queue packet, then send one flit."""
+        np = self._np
+        if self._num_queued:
+            can = self.hq_valid
+            if self._mshrs > 0:
+                can = can & (self.outstanding < self._mshrs)
+            starters = (can).nonzero()[0]
+            if len(starters):
+                bases = self._NOVC + starters * self._V
+                choice = (None if self._fullrange
+                          else self.hq_choice[starters])
+                dsts = (self.hq_dst[starters] if self._static_vc
+                        else None)
+                picks = self._policy_pick(bases, choice, dsts, None)
+                okidx = (picks >= 0).nonzero()[0]
+                for t, vc in zip(starters[okidx].tolist(),
+                                 picks[okidx].tolist()):
+                    self._start_packet(c, t, vc)
+        if not self._sending_count:
+            return
+        rows = (self._snd_cnt).nonzero()[0]
+        bases = self._NOVC + rows * self._V
+        slots = bases[:, None] + self._arV[None, :]
+        elig = (self.snd_left[rows] > 0) & (self.cred[slots] > 0)
+        if self._V <= 8:
+            masks = np.packbits(elig, axis=1,
+                                bitorder="little")[:, 0].astype(np.int64)
+        else:
+            masks = (elig.astype(np.int64)
+                     << self._arV[None, :]).sum(axis=1)
+        has = masks > 0
+        rows, masks, bases = rows[has], masks[has], bases[has]
+        if not len(rows):
+            return
+        vcs = self._rr_pick(masks, self.send_rr[rows], self._V)
+        self.send_rr[rows] = (vcs + 1) % self._V
+        ci = bases + vcs
+        fids = self.snd_next[rows, vcs]
+        self.f_vc[fids] = vcs
+        self.cred[ci] -= 1
+        lay = self._lay
+        self._arr_bucket.setdefault(c + 1, []).append(
+            (lay.inj_link[rows], lay.inj_ipid[rows], fids))
+        self.snd_next[rows, vcs] = fids + 1
+        left = self.snd_left[rows, vcs] - 1
+        self.snd_left[rows, vcs] = left
+        didx = (left == 0).nonzero()[0]
+        if len(didx):
+            drows = rows[didx]
+            self.cred_free[ci[didx]] = True
+            self.snd_pid[drows, vcs[didx]] = -1
+            self._snd_cnt[drows] -= 1
+            self._sending_count -= len(didx)
+
+    def _start_packet(self, c: int, t: int, vc: int) -> None:
+        """Pop the queue head into a per-VC transmission (sender VA).
+
+        Scalar on purpose: a couple of starts per cycle is the norm,
+        and python-scalar indexing beats fixed-overhead vector ops at
+        that size."""
+        q = self._queues[t]
+        pk = q.popleft()
+        self._num_queued -= 1
+        if q:
+            head = q[0]
+            self.hq_choice[t] = self.p_choice[head]
+            self.hq_dst[t] = self.p_dst[head]
+        else:
+            self.hq_valid[t] = False
+        self.cred_free[self._NOVC + t * self._V + vc] = False
+        self.p_inject[pk] = c
+        size = int(self.p_size[pk])
+        stats = self.stats
+        stats.injected_packets += 1
+        stats.injected_flits += size
+        self.outstanding[t] += 1
+        fid0 = self._nflits
+        if fid0 + size > self._fcap:
+            self._grow_flits(fid0 + size)
+        self._nflits = fid0 + size
+        self.f_pkt[fid0:fid0 + size] = pk
+        self.f_head[fid0] = True
+        self.f_tail[fid0 + size - 1] = True
+        self.snd_pid[t, vc] = pk
+        self.snd_next[t, vc] = fid0
+        self.snd_left[t, vc] = size
+        self._snd_cnt[t] += 1
+        self._sending_count += 1
+
+    # -- shared vectorized helpers --------------------------------------------
+
+    def _rr_pick(self, masks, nxt, sizes):
+        """Vectorized RoundRobinArbiter.grant_mask: one grant per row.
+
+        ``sizes`` is a scalar or per-row array of arbiter sizes; callers
+        update the rotation state themselves (``cand + 1 mod size``).
+        """
+        tab = self._rr_tab
+        if tab is not None:
+            return tab[(sizes * 256 + masks) * 8 + nxt]
+        np = self._np
+        full = (np.int64(1) << sizes) - 1
+        rot = ((masks >> nxt) | (masks << (sizes - nxt))) & full
+        low = rot & -rot
+        off = np.bitwise_count(low - 1).astype(np.int64)
+        cand = off + nxt
+        return np.where(cand >= sizes, cand - sizes, cand)
+
+    def _cumcount(self, keys):
+        """Position of each element within its run of equal ``keys``
+        (keys must be grouped; order within groups is preserved)."""
+        np = self._np
+        n = len(keys)
+        idx = self._ramp[:n]
+        change = np.empty(n, dtype=bool)
+        change[0] = True
+        change[1:] = keys[1:] != keys[:-1]
+        gstart = np.maximum.accumulate(np.where(change, idx, 0))
+        return idx - gstart
+
+    def _policy_pick(self, bases, choices, dsts, ej_mask):
+        """Vectorized VC allocation over credit-space rows.
+
+        ``bases`` are credit indices of vc 0 for each row; returns the
+        chosen VC per row or -1. ``ej_mask`` marks ejection rows (None
+        when no row can be an ejection port, i.e. NIC injection).
+        """
+        np = self._np
+        slots = bases[:, None] + self._arV[None, :]
+        free = self.cred_free[slots]
+        if not self._fullrange:
+            lay = self._lay
+            lo = lay.route_lo[choices]
+            hi = lay.route_hi[choices]
+            free = free & ((self._arV[None, :] >= lo[:, None])
+                           & (self._arV[None, :] < hi[:, None]))
+        rows = self._ramp[:len(bases)]
+        if not self._static_vc:
+            score = np.where(free, self.cred[slots], -1)
+            pick = score.argmax(axis=1)
+            ok = score[rows, pick] >= 0
+            return np.where(ok, pick, -1)
+        # Static: destination-designated VC; ejection rows fall back to
+        # the first free VC in range (StaticVCAllocation.allocate).
+        desig = (dsts % self._V if self._fullrange
+                 else lo + dsts % (hi - lo))
+        ok = free[rows, desig]
+        pick = np.where(ok, desig, -1)
+        if ej_mask is not None and ej_mask.any():
+            first = free.argmax(axis=1)
+            ok_ej = free[rows, first]
+            pick = np.where(ej_mask, np.where(ok_ej, first, -1), pick)
+        return pick
+
+    def _alloc_one(self, opid: int, choice: int, dst: int,
+                   ejection: bool) -> int:
+        """Scalar VC allocation for the buffer-bypass path (one packet)."""
+        lay = self._lay
+        lo = int(lay.route_lo[choice])
+        hi = int(lay.route_hi[choice])
+        base = opid * self._V
+        cred_free = self.cred_free
+        if not self._static_vc:
+            best = -1
+            best_credits = -1
+            cred = self.cred
+            for v in range(lo, hi):
+                if cred_free[base + v]:
+                    credits = int(cred[base + v])
+                    if credits > best_credits:
+                        best = v
+                        best_credits = credits
+            return best
+        if ejection:
+            for v in range(lo, hi):
+                if cred_free[base + v]:
+                    return v
+            return -1
+        v = lo + dst % (hi - lo)
+        return v if cred_free[base + v] else -1
+
+    # -- router pipeline ------------------------------------------------------
+
+    def _step_routers(self, c: int, arrivals) -> None:
+        """Phase 4: the per-router VA/SA/pseudo-circuit pipeline step,
+        batched over every router with work this cycle.
+
+        Routers are independent within a cycle (credits and flits they
+        emit land at later cycles), so stepping each phase across the
+        whole chip is equivalent to the scalar per-router sequential
+        step; within a router the scalar phase order is preserved.
+        """
+        np = self._np
+        Pi, Po, V = self._Pi, self._Po, self._V
+        # Work set: routers with buffered flits or arrivals staged this
+        # cycle (scalar step() early-returns for all others; maintenance
+        # runs only for routers that entered step).
+        work_r = self._r_buffered > 0
+        if arrivals is not None:
+            work_r = work_r.copy()
+            work_r[arrivals[0] // Pi] = True
+        # With every router in the work set (the common case at load)
+        # the per-state masks need no work_r filtering at all.
+        wall = bool(work_r.all())
+        # Occupancy scan shared by VA and SA: occupied ivcs of work
+        # routers in ascending order, their front flits and readiness.
+        if self._buffered:
+            occm = self.buf_len > 0
+            if not wall:
+                occm = occm & work_r.repeat(Pi * V)
+            occ_idx = (occm).nonzero()[0]
+            fronts = self.buf_fid[occ_idx, self.buf_head[occ_idx]]
+            fready = self.f_ready[fronts] <= c
+            self._va_allocate(c, occ_idx, fronts, fready)
+        else:
+            occ_idx = fronts = None
+            fready = None
+        pc_enabled = self._pc_enabled
+        if pc_enabled:
+            cand_ip, cand_ivc = self._pc_candidates(c, work_r, wall)
+        else:
+            cand_ip = cand_ivc = ()
+        order, claimed_ip, claimed_op = self._collect_requests(
+            c, occ_idx, fronts, fready, cand_ivc)
+        # Bypass unblocked candidates; blocked ones join SA (ascending
+        # input-port order, matching the scalar candidate dict). The
+        # blocked decision is independent across candidates — they have
+        # pairwise-distinct inputs and outputs, so one candidate's
+        # claims or traversal never flips another's test — which makes
+        # the whole classification one batch of mask ops.
+        if len(cand_ip):
+            copids = self.vc_out_opid[cand_ivc]
+            in_busy = self.ip_st[cand_ip] == c
+            blocked = (claimed_ip[cand_ip] | claimed_op[copids]
+                       | (in_busy != (self.op_st[copids] == c)))
+            bidx = (blocked).nonzero()[0]
+            if len(bidx):
+                bip = cand_ip[bidx]
+                bivc = cand_ivc[bidx]
+                fresh = self._port_mask[bip] == 0
+                self._port_mask[bip] |= np.int64(1) << (bivc % V)
+                claimed_ip[bip] = True
+                claimed_op[copids[bidx]] = True
+                fresh_ports = bip[fresh]
+                if len(fresh_ports):
+                    order = (np.concatenate([order, fresh_ports])
+                             if len(order) else fresh_ports)
+            # Unblocked candidates bypass SA in one batch; busy input
+            # ports carry streamed circuits (the previous flit of the
+            # same connection traverses this cycle) whose flit follows
+            # through the held crossbar connection one cycle later —
+            # the per-row delay mask.
+            fidx = (~blocked).nonzero()[0]
+            if len(fidx):
+                self._traverse_batch(c, cand_ivc[fidx], "pc",
+                                     in_busy[fidx])
+        if arrivals is not None:
+            self._process_arrivals(c, arrivals, claimed_ip, claimed_op)
+        if len(order):
+            self._allocate_switch(c, order)
+        if pc_enabled:
+            self._pc_maintenance(c, work_r, wall)
+
+    # -- VA stage -------------------------------------------------------------
+
+    def _va_allocate(self, c: int, occ_idx, fronts, fready) -> None:
+        """Route idle fronts and allocate output VCs, visiting ports in
+        the scalar rotated order (start = cycle % num_inports)."""
+        np = self._np
+        Pi, Po, V = self._Pi, self._Po, self._V
+        st = self.vc_state[occ_idx]
+        vam = (st != 2) & fready
+        if not vam.any():
+            return
+        rows = occ_idx[vam]
+        rfronts = fronts[vam]
+        iidx = (st[vam] == 0).nonzero()[0]
+        if len(iidx):
+            iivc = rows[iidx]
+            ifronts = rfronts[iidx]
+            if not self.f_head[ifronts].all():
+                raise ProtocolError(
+                    "body flit at the front of an idle VC")
+            pk = self.f_pkt[ifronts]
+            r = iivc // (Pi * V)
+            out = self._lay.route_out[r, self.p_choice[pk],
+                                     self.p_dst[pk]]
+            self.vc_state[iivc] = 1
+            self.vc_out_port[iivc] = out
+            self.vc_out_opid[iivc] = r * Po + out
+        opids = self.vc_out_opid[rows]
+        if self._fullrange and not self._static_vc:
+            # Dynamic picks never change credit *counts* during the
+            # pass, only the free bits — so a pool's successive picks
+            # are exactly its free VCs in (credits desc, vc asc) order,
+            # and every row's pick is one gather at its service rank
+            # (rank = position in the scalar rotated port/vc visit
+            # order among rows of the same pool). One composite sort
+            # groups rows by pool, service-ordered within it.
+            ports = rows // V
+            r = ports // Pi
+            rotp = (ports - r * Pi - c) % self._lay.nip[r]
+            svc = (r * Pi + rotp) * V + rows % V
+            order = (opids * self._NIVC + svc).argsort(kind="stable")
+            sop = opids[order]
+            n = len(sop)
+            idxn = self._ramp[:n]
+            fmask = np.empty(n, dtype=bool)
+            fmask[0] = True
+            fmask[1:] = sop[1:] != sop[:-1]
+            gstart = np.maximum.accumulate(np.where(fmask, idxn, 0))
+            kraw = idxn - gstart
+            gid = fmask.cumsum() - 1
+            uo = sop[fmask]
+            slots = uo[:, None] * V + self._arV[None, :]
+            cmax = self._credmax
+            big = (cmax + 1) * V
+            key = ((cmax - self.cred[slots]) * V
+                   + self._arV[None, :]
+                   + ~self.cred_free[slots] * big)
+            vorder = key.argsort(axis=1)
+            skey = np.take_along_axis(key, vorder, 1)
+            kpos = np.minimum(kraw, V - 1)
+            good = (kraw < V) & (skey[gid, kpos] < big)
+            gidx = (good).nonzero()[0]
+            if len(gidx):
+                wivc = rows[order[gidx]]
+                wvc = vorder[gid[gidx], kpos[gidx]]
+                ci = sop[gidx] * V + wvc
+                self.cred_free[ci] = False
+                self.vc_state[wivc] = 2
+                self.vc_out_vc[wivc] = wvc
+                self.vc_out_cred[wivc] = ci
+                self.stats.va_allocations += len(gidx)
+            return
+        sop = opids.copy()
+        sop.sort()
+        if not (sop[1:] == sop[:-1]).any():
+            pk = self.f_pkt[rfronts]
+            choices = self.p_choice[pk]
+            dsts = self.p_dst[pk]
+            ej = self._lay.op_eject[opids]
+            picks = self._policy_pick(opids * V, choices, dsts, ej)
+            widx = (picks >= 0).nonzero()[0]
+            if len(widx):
+                wivc = rows[widx]
+                wvc = picks[widx]
+                ci = opids[widx] * V + wvc
+                self.cred_free[ci] = False
+                self.vc_state[wivc] = 2
+                self.vc_out_vc[wivc] = wvc
+                self.vc_out_cred[wivc] = ci
+                self.stats.va_allocations += len(widx)
+            return
+        # Contended: visit ports in the scalar rotated service order
+        # (ports rotate by cycle, VCs ascend) via one composite-key
+        # sort, then rank rows within their output pool.
+        ports = rows // V
+        r = ports // Pi
+        rotp = (ports - r * Pi - c) % self._lay.nip[r]
+        sidx = ((r * Pi + rotp) * V + rows % V).argsort(kind="stable")
+        srows = rows[sidx]
+        opids = self.vc_out_opid[srows]
+        og = opids.argsort(kind="stable")
+        rank = np.empty(len(srows), dtype=np.int64)
+        rank[og] = self._cumcount(opids[og])
+        pk = self.f_pkt[rfronts[sidx]]
+        choices = self.p_choice[pk]
+        dsts = self.p_dst[pk]
+        ej = self._lay.op_eject[opids]
+        for k in range(int(rank.max()) + 1):
+            rnd = rank == k
+            rr = srows[rnd]
+            ropid = opids[rnd]
+            picks = self._policy_pick(ropid * V, choices[rnd], dsts[rnd],
+                                      ej[rnd])
+            ok = picks >= 0
+            if not ok.any():
+                continue
+            wivc = rr[ok]
+            wvc = picks[ok]
+            ci = ropid[ok] * V + wvc
+            self.cred_free[ci] = False
+            self.vc_state[wivc] = 2
+            self.vc_out_vc[wivc] = wvc
+            self.vc_out_cred[wivc] = ci
+            self.stats.va_allocations += int(ok.sum())
+
+    # -- pseudo-circuit candidates --------------------------------------------
+
+    def _pc_candidates(self, c: int, work_r, wall: bool):
+        """Input ports whose circuit's VC has a matching ready front."""
+        np = self._np
+        Pi, V = self._Pi, self._V
+        validm = self.pc_valid
+        if not wall:
+            validm = validm & work_r.repeat(Pi)
+        pp = (validm).nonzero()[0]
+        if not len(pp):
+            return pp, pp
+        civc = pp * V + self.pc_in_vc[pp]
+        # Read fronts for every circuit VC unconditionally (stale ring
+        # slots of empty VCs still hold valid pool indices), then apply
+        # the occupied and ready filters in one pass.
+        fronts = self.buf_fid[civc, self.buf_head[civc]]
+        live = ((self.buf_len[civc] > 0)
+                          & (self.f_ready[fronts] <= c)).nonzero()[0]
+        if not len(live):
+            return live, live
+        pp, civc, fronts = pp[live], civc[live], fronts[live]
+        heads = self.f_head[fronts]
+        active = self.vc_state[civc] == 2
+        if ((~heads) & (~active)).any():
+            raise ProtocolError("body flit on inactive VC")
+        # Route is known (the VA phase ran first this cycle).
+        mismatch = heads & (self.vc_out_port[civc]
+                            != self.pc_out_port[pp])
+        midx = (mismatch).nonzero()[0]
+        if len(midx):
+            self._terminate_batch(pp[midx], Termination.ROUTE_MISMATCH)
+            keep = (active & ~mismatch).nonzero()[0]
+        else:
+            keep = (active).nonzero()[0]
+        if not len(keep):
+            return keep, keep
+        pp, civc = pp[keep], civc[keep]
+        nidx = (self.cred[self.vc_out_cred[civc]] == 0).nonzero()[0]
+        if len(nidx):
+            self._terminate_batch(pp[nidx], Termination.NO_CREDIT)
+            ok = np.ones(len(pp), dtype=bool)
+            ok[nidx] = False
+            pp, civc = pp[ok], civc[ok]
+        return pp, civc
+
+    # -- SA stage -------------------------------------------------------------
+
+    def _collect_requests(self, c: int, occ_idx, fronts, fready,
+                          cand_ivc):
+        """Collect SA requests into the shared per-port VC-mask scratch;
+        returns (order, claimed_ip, claimed_op)."""
+        np = self._np
+        V = self._V
+        claimed_ip = np.zeros(self._NIP, dtype=bool)
+        claimed_op = np.zeros(self._NOP, dtype=bool)
+        if occ_idx is None or not len(occ_idx):
+            return self._empty_i64, claimed_ip, claimed_op
+        req = (self.vc_state[occ_idx] == 2) & fready
+        ridx = occ_idx[req]
+        if len(cand_ivc):
+            iscand = self._iscand
+            iscand[cand_ivc] = True
+            keep = ~iscand[ridx]
+            iscand[cand_ivc] = False
+            ridx = ridx[keep]
+        if len(ridx):
+            ridx = ridx[self.cred[self.vc_out_cred[ridx]] > 0]
+        if not len(ridx):
+            return self._empty_i64, claimed_ip, claimed_op
+        ports = ridx // V
+        np.bitwise_or.at(self._port_mask, ports,
+                         np.int64(1) << (ridx % V))
+        claimed_ip[ports] = True
+        claimed_op[self.vc_out_opid[ridx]] = True
+        if len(ports) == 1:
+            return ports, claimed_ip, claimed_op
+        keep = np.empty(len(ports), dtype=bool)
+        keep[0] = True
+        keep[1:] = ports[1:] != ports[:-1]  # ridx ascending: sorted
+        return ports[keep], claimed_ip, claimed_op
+
+    def _allocate_switch(self, c: int, order_arr) -> None:
+        """Separable input-first allocation, all arbiters in parallel."""
+        np = self._np
+        Pi, Po, V = self._Pi, self._Po, self._V
+        port_mask = self._port_mask
+        masks = port_mask[order_arr]
+        port_mask[order_arr] = 0
+        # Stage 1: one VC per requesting input port.
+        nxt = self.in_arb_next[order_arr]
+        cand = self._rr_pick(masks, nxt, V)
+        self.in_arb_next[order_arr] = (cand + 1) % V
+        givc = order_arr * V + cand
+        self._smap[order_arr] = givc
+        souts = self.vc_out_opid[givc]
+        # Stage 2: one input per requested output, outputs visited in
+        # first-seen stage-1 order (per router).
+        so = souts.argsort(kind="stable")
+        ss = souts[so]
+        fm = np.empty(len(ss), dtype=bool)
+        fm[0] = True
+        fm[1:] = ss[1:] != ss[:-1]
+        uo = ss[fm]
+        first = so[fm]
+        omask = self._omask
+        np.bitwise_or.at(omask, souts, np.int64(1) << (order_arr % Pi))
+        m2 = omask[uo]
+        omask[uo] = 0
+        sizes = self._lay.nip[uo // Po]
+        w = self._rr_pick(m2, self.out_arb_next[uo], sizes)
+        self.out_arb_next[uo] = (w + 1) % sizes
+        go = first.argsort(kind="stable")
+        g_opid = uo[go]
+        g_port = self._op_ipbase[g_opid] + w[go]
+        g_ivc = self._smap[g_port]
+        # Tails reset vc_out_port during the batch: capture grant output
+        # ports first for the establish pass below.
+        g_outl = self.vc_out_port[g_ivc]
+        g_invc = g_ivc % V
+        self._traverse_batch(c, g_ivc, "sa", True)
+        if self._pc_enabled:
+            self._establish_batch(g_port, g_invc, g_outl, g_opid)
+
+    def _establish_batch(self, g_port, g_invc, g_outl, g_opid) -> None:
+        """Router._establish_pc over all SA grants at once.
+
+        The scalar pass runs in grant order because conflict
+        terminations read live state, but the only cross-grant couplings
+        are (a) a grant whose target output is currently held by a
+        *later* grant's port (CONFLICT_OUTPUT fires; an earlier grant
+        would have cleared the holder through its own CONFLICT_INPUT
+        first) and (b) a grant whose old circuit was already torn down
+        by an earlier grant targeting that output (its CONFLICT_INPUT is
+        then skipped). Both reduce to order-rank comparisons through
+        scatter maps, and the net state writes commute: grants have
+        pairwise-distinct inputs and outputs, every grant port ends
+        valid with its new register, and each contested output's history
+        register receives the same value whichever side records the
+        termination.
+        """
+        np = self._np
+        Pi, Po = self._Pi, self._Po
+        stats = self.stats
+        n = len(g_port)
+        g_local = g_port % Pi
+        valid0 = self.pc_valid[g_port]
+        in0 = self.pc_in_vc[g_port]
+        out0 = self.pc_out_port[g_port]
+        h0 = self.op_holder[g_opid]
+        ordv = self._ramp[:n]
+        ordmap = np.full(self._NIP, n, dtype=np.int64)
+        ordmap[g_port] = ordv
+        outmap = np.full(self._NOP, n, dtype=np.int64)
+        outmap[g_opid] = ordv
+        vic = h0 >= 0
+        vp = self._op_ipbase[g_opid] + np.where(vic, h0, 0)
+        outconf = vic & (h0 != g_local) & (ordmap[vp] > ordv)
+        old_opid = self._ip_opbase[g_port] + np.where(valid0, out0, 0)
+        inconf = valid0 & (out0 != g_outl) & (outmap[old_opid] >= ordv)
+        oidx = (outconf).nonzero()[0]
+        if len(oidx):
+            stats.pc_terminations[Termination.CONFLICT_OUTPUT] += (
+                len(oidx))
+            self.op_hist[g_opid[oidx]] = h0[oidx]
+            self.pc_valid[vp[oidx]] = False
+        iidx = (inconf).nonzero()[0]
+        if len(iidx):
+            stats.pc_terminations[Termination.CONFLICT_INPUT] += (
+                len(iidx))
+            io = old_opid[iidx]
+            self.op_hist[io] = g_local[iidx]
+            self.op_holder[io] = -1
+        refreshed = valid0 & (in0 == g_invc) & (out0 == g_outl)
+        self.pc_in_vc[g_port] = g_invc
+        self.pc_out_port[g_port] = g_outl
+        self.pc_valid[g_port] = True
+        self.op_holder[g_opid] = g_local
+        stats.pc_established += n - int(refreshed.sum())
+
+    # -- arrivals: buffer write or buffer bypass ------------------------------
+
+    def _process_arrivals(self, c: int, arrivals, claimed_ip,
+                          claimed_op) -> None:
+        np = self._np
+        V, D = self._V, self._D
+        dests, fids = arrivals
+        vcs = self.f_vc[fids]
+        aivc = dests * V + vcs
+        n = len(fids)
+        buffered = None  # row mask of flits to buffer
+        if self._pc_bypass:
+            rows = (self.pc_valid[dests]
+                              & (self.pc_in_vc[dests] == vcs)
+                              & (self.buf_len[aivc] == 0)).nonzero()[0]
+            if len(rows):
+                # Drop side-effect-free failures early: busy or claimed
+                # input port (a failing port fails for every arrival it
+                # receives this cycle, so no later row misses a
+                # buffered-flit update from a dropped one).
+                rd = dests[rows]
+                rows = rows[(self.ip_st[rd] < c) & ~claimed_ip[rd]]
+            npot = len(rows)
+            if npot:
+                if npot > 1:
+                    # Arrivals sharing a port share the circuit's one
+                    # in-VC: only the first can bypass (a success busies
+                    # the port, a failure fills the buffer), so exactly
+                    # one attempt per port goes forward.
+                    prt = dests[rows]
+                    so = prt.argsort(kind="stable")
+                    sp = prt[so]
+                    fm = np.empty(npot, dtype=bool)
+                    fm[0] = True
+                    fm[1:] = sp[1:] != sp[:-1]
+                    att = rows[so[fm]]
+                    att.sort()
+                else:
+                    att = rows
+                done = self._bypass_attempts(c, att, dests, vcs, fids,
+                                             claimed_ip, claimed_op)
+                if len(done) == n:
+                    return
+                buffered = np.ones(n, dtype=bool)
+                buffered[done] = False
+                aivc, fids = aivc[buffered], fids[buffered]
+                n = len(fids)
+        # Buffer writes, order-preserving per VC (a link can deliver two
+        # same-circuit flits in one cycle; mostly they're all distinct,
+        # where plain fancy indexing replaces the scatter-add).
+        dup = False
+        if n > 1:
+            sp = aivc.copy()
+            sp.sort()
+            dup = bool((sp[1:] == sp[:-1]).any())
+        lens = self.buf_len[aivc]
+        if dup:
+            sidx = aivc.argsort(kind="stable")
+            cnt = np.empty(n, dtype=np.int64)
+            cnt[sidx] = self._cumcount(aivc[sidx])
+            if (lens + cnt >= D).any():
+                raise BufferOverflowError(
+                    f"flit buffer overflow (capacity {D})")
+            self.buf_fid[aivc,
+                         (self.buf_head[aivc] + lens + cnt) % D] = fids
+            np.add.at(self.buf_len, aivc, 1)
+        else:
+            if (lens >= D).any():
+                raise BufferOverflowError(
+                    f"flit buffer overflow (capacity {D})")
+            self.buf_fid[aivc, (self.buf_head[aivc] + lens) % D] = fids
+            self.buf_len[aivc] = lens + 1
+        self.f_ready[fids] = c + 1
+        np.add.at(self._r_buffered, aivc // (self._Pi * V), 1)
+        self._buffered += n
+        self.stats.buffer_writes += n
+
+    def _bypass_attempts(self, c: int, att, dests, vcs, fids,
+                         claimed_ip, claimed_op):
+        """Router._try_buffer_bypass over all attempt rows at once;
+        returns the arrival rows whose flit bypassed. Attempts have
+        pairwise-distinct input ports, so they couple only through a
+        shared target output; the rare contended outputs fall back to
+        the order-sensitive scalar path (each group independent).
+        """
+        np = self._np
+        V, Pi, Po = self._V, self._Pi, self._Po
+        lay = self._lay
+        na = len(att)
+        prt = dests[att]
+        aivc = prt * V + vcs[att]
+        afid = fids[att]
+        heads = self.f_head[afid]
+        st = self.vc_state[aivc]
+        if (st != np.where(heads, 0, 2)).any():
+            if (heads & (st != 0)).any():
+                raise ProtocolError(
+                    "head flit arrived on a still-allocated VC")
+            raise ProtocolError("body flit arrived on an inactive VC")
+        ok = np.ones(na, dtype=bool)
+        opid = self.vc_out_opid[aivc]  # body rows: the live circuit
+        outl = self.pc_out_port[prt]   # register output = bypass output
+        hidx = (heads).nonzero()[0]
+        if len(hidx):
+            hpk = self.f_pkt[afid[hidx]]
+            hr = prt[hidx] // Pi
+            out = lay.route_out[hr, self.p_choice[hpk],
+                                self.p_dst[hpk]]
+            midx = (out != outl[hidx]).nonzero()[0]
+            if len(midx):
+                # conflicts_with_route: same VC, different output.
+                self._terminate_batch(prt[hidx[midx]],
+                                      Termination.ROUTE_MISMATCH)
+                ok[hidx[midx]] = False
+            opid = opid.copy()
+            opid[hidx] = self._ip_opbase[prt[hidx]] + out
+        ok &= ~claimed_op[opid] & (self.op_st[opid] < c)
+        live = (ok).nonzero()[0]
+        empty = att[:0]
+        if not len(live):
+            return empty
+        loop_done: list[int] = []
+        if len(live) > 1:
+            counts = np.bincount(opid[live], minlength=self._NOP)
+            dup = counts[opid[live]] > 1
+            if dup.any():
+                dups = live[dup]
+                ok[dups] = False
+                added: dict[int, int] = {}
+                for k in dups.tolist():
+                    if self._try_bypass_one(
+                            c, int(prt[k]), int(vcs[att[k]]),
+                            int(afid[k]), claimed_ip, claimed_op,
+                            added):
+                        loop_done.append(int(att[k]))
+                live = (ok).nonzero()[0]
+        lh = live[heads[live]]
+        if len(lh):
+            lop = opid[lh]
+            pk = self.f_pkt[afid[lh]]
+            picks = self._policy_pick(lop * V, self.p_choice[pk],
+                                      self.p_dst[pk],
+                                      lay.op_eject[lop])
+            ci = lop * V + np.maximum(picks, 0)
+            good = (picks >= 0) & (self.cred[ci] > 0)
+            ok[lh] = good
+            win = lh[good]
+            if len(win):
+                wivc = aivc[win]
+                wci = ci[good]
+                self.cred_free[wci] = False
+                self.vc_state[wivc] = 2
+                self.vc_out_port[wivc] = outl[win]
+                self.vc_out_opid[wivc] = opid[win]
+                self.vc_out_vc[wivc] = picks[good]
+                self.vc_out_cred[wivc] = wci
+                self.stats.va_allocations += len(win)
+        lb = live[~heads[live]]
+        if len(lb):
+            nidx = (
+                self.cred[self.vc_out_cred[aivc[lb]]] == 0).nonzero()[0]
+            if len(nidx):
+                # Out of credit before the flit arrived: tear the
+                # circuit down and buffer normally (Section IV.B).
+                self._terminate_batch(prt[lb[nidx]],
+                                      Termination.NO_CREDIT)
+                ok[lb[nidx]] = False
+        fin = (ok).nonzero()[0]
+        if len(fin):
+            self._traverse_batch(c, aivc[fin], "buf", False, afid[fin])
+        if loop_done:
+            return np.concatenate(
+                [att[fin], np.array(loop_done, dtype=np.int64)])
+        return att[fin]
+
+    def _try_bypass_one(self, c: int, ip_: int, vc_: int, fid_: int,
+                        claimed_ip, claimed_op, added) -> bool:
+        """Scalar replication of Router._try_buffer_bypass for one flit
+        (bypass successes are rare enough that python-scalar beats
+        1-element array batches)."""
+        aivc = ip_ * self._V + vc_
+        if added.get(aivc):
+            return False  # an earlier arrival buffered into this VC
+        if self.ip_st[ip_] >= c or claimed_ip[ip_]:
+            return False
+        stats = self.stats
+        if self.f_head[fid_]:
+            if self.vc_state[aivc] != 0:
+                raise ProtocolError(
+                    f"head flit arrived on VC {vc_} still allocated")
+            pk = int(self.f_pkt[fid_])
+            choice = int(self.p_choice[pk])
+            dst = int(self.p_dst[pk])
+            r = ip_ // self._Pi
+            out = int(self._lay.route_out[r, choice, dst])
+            if self.pc_out_port[ip_] != out:
+                # conflicts_with_route: same VC, different output.
+                self._terminate_one(ip_, Termination.ROUTE_MISMATCH)
+                return False
+            opid = r * self._Po + out
+            if claimed_op[opid] or self.op_st[opid] >= c:
+                return False
+            ovc = self._alloc_one(opid, choice, dst,
+                                  bool(self._lay.op_eject[opid]))
+            if ovc < 0 or self.cred[opid * self._V + ovc] == 0:
+                return False
+            ci = opid * self._V + ovc
+            self.cred_free[ci] = False
+            self.vc_state[aivc] = 2
+            self.vc_out_port[aivc] = out
+            self.vc_out_opid[aivc] = opid
+            self.vc_out_vc[aivc] = ovc
+            self.vc_out_cred[aivc] = ci
+            stats.va_allocations += 1
+        else:
+            if self.vc_state[aivc] != 2:
+                raise ProtocolError(
+                    f"body flit arrived on inactive VC {vc_}")
+            opid = int(self.vc_out_opid[aivc])
+            if claimed_op[opid] or self.op_st[opid] >= c:
+                return False
+            if self.cred[self.vc_out_cred[aivc]] == 0:
+                # Out of credit before the flit arrived: tear the
+                # circuit down and buffer normally (Section IV.B).
+                self._terminate_one(ip_, Termination.NO_CREDIT)
+                return False
+        self._traverse_one(c, aivc, fid_)
+        return True
+
+    # -- flit traversal -------------------------------------------------------
+
+    def _deliver(self, arrival, opids, fids) -> None:
+        """Route traversed flits into the arrival/ejection buckets.
+
+        ``arrival`` is an int when every output the batch crosses has
+        the same latency (``_unilat``, the common case) — a single
+        bucket append per kind, no grouping pass.
+        """
+        np = self._np
+        lay = self._lay
+        ej = lay.op_eject[opids]
+        uniform = not isinstance(arrival, np.ndarray)
+        eidx = (ej).nonzero()[0]
+        if len(eidx):
+            et = lay.op_term[opids[eidx]]
+            ef = fids[eidx]
+            self._ej_pending += len(eidx)
+            if uniform:
+                self._ej_bucket.setdefault(arrival, []).append((et, ef))
+            else:
+                ea = arrival[eidx]
+                for a in np.unique(ea).tolist():
+                    m = ea == a
+                    self._ej_bucket.setdefault(a, []).append(
+                        (et[m], ef[m]))
+            if len(eidx) == len(opids):
+                return
+            ne = ~ej
+            opids, fids = opids[ne], fids[ne]
+            if not uniform:
+                arrival = arrival[ne]
+        links = lay.op_link[opids]
+        dests = lay.op_dest[opids]
+        if uniform:
+            self._arr_bucket.setdefault(arrival, []).append(
+                (links, dests, fids))
+            return
+        for a in np.unique(arrival).tolist():
+            m = arrival == a
+            self._arr_bucket.setdefault(a, []).append(
+                (links[m], dests[m], fids[m]))
+
+    def _traverse_batch(self, c: int, ivcs, via: str, delayed: bool,
+                        fids=None) -> None:
+        """Move the front flit of each given VC through the crossbar
+        (Router._traverse for SA grants and circuit reuses; at most one
+        traversal per input port and per output port per cycle, so all
+        index arrays are duplicate-free). With ``fids`` the flits are
+        arriving buffer bypasses (``via == "buf"``): nothing is popped
+        and no buffer read is charged."""
+        np = self._np
+        V, Pi = self._V, self._Pi
+        stats = self.stats
+        n = len(ivcs)
+        ports = ivcs // V
+        popped = fids is None
+        if popped:
+            h = self.buf_head[ivcs]
+            fids = self.buf_fid[ivcs, h]
+            self.buf_head[ivcs] = (h + 1) % self._D
+            self.buf_len[ivcs] -= 1
+            np.subtract.at(self._r_buffered, ivcs // (Pi * V), 1)
+            self._buffered -= n
+        self._cred_bucket.setdefault(c + self._cd, []).append(
+            self._lay.ip_upbase[ports] + ivcs % V)
+        opids = self.vc_out_opid[ivcs]
+        outl = self.vc_out_port[ivcs]
+        civ = self.vc_out_cred[ivcs]
+        self.cred[civ] -= 1
+        hidx = (self.f_head[fids]).nonzero()[0]
+        nh = len(hidx)
+        if nh:
+            hpk = self.f_pkt[fids[hidx]]
+            self.p_hops[hpk] += 1
+            if via != "sa":
+                self.p_sa[hpk] += 1
+                if via == "buf":
+                    self.p_buf[hpk] += 1
+            pair = self.p_pair[hpk]
+            hports = ports[hidx]
+            stats.e2e_packets += nh
+            stats.e2e_repeats += int(
+                (self.ip_last_pair[hports] == pair).sum())
+            self.ip_last_pair[hports] = pair
+        if via == "sa":
+            stats.sa_arbitrations += n
+        else:
+            stats.sa_bypass_flits += n
+            if via == "buf":
+                stats.buf_bypass_flits += n
+        stats.flit_hops += n
+        stats.xbar_flits += n
+        if popped:
+            stats.buffer_reads += n
+        stats.xbar_repeats += int((self.ip_last_out[ports] == outl).sum())
+        self.ip_last_out[ports] = outl
+        self.f_vc[fids] = self.vc_out_vc[ivcs]
+        if isinstance(delayed, np.ndarray):
+            # Mixed batch: each row's ST-busy stamp and arrival cycle
+            # shift by its own delay; split delivery into the two
+            # uniform-arrival groups.
+            stc = np.where(delayed, c + 1, c)
+            self.ip_st[ports] = stc
+            self.op_st[opids] = stc
+            nd = ~delayed
+            if self._unilat is None:
+                lat = self._lay.op_latency[opids]
+                arrival = c + 1 + lat + delayed
+                self._deliver(arrival, opids, fids)
+            else:
+                base = c + 1 + self._unilat
+                if nd.any():
+                    self._deliver(base, opids[nd], fids[nd])
+                if delayed.any():
+                    self._deliver(base + 1, opids[delayed],
+                                  fids[delayed])
+        else:
+            stc = c + 1 if delayed else c
+            self.ip_st[ports] = stc
+            self.op_st[opids] = stc
+            base = c + (2 if delayed else 1)
+            if self._unilat is None:
+                self._deliver(base + self._lay.op_latency[opids],
+                              opids, fids)
+            else:
+                self._deliver(base + self._unilat, opids, fids)
+        tidx = (self.f_tail[fids]).nonzero()[0]
+        if len(tidx):
+            tivc = ivcs[tidx]
+            self.cred_free[civ[tidx]] = True
+            self.vc_state[tivc] = 0
+            self.vc_out_port[tivc] = -1
+            self.vc_out_opid[tivc] = -1
+            self.vc_out_vc[tivc] = -1
+
+    def _traverse_one(self, c: int, aivc: int, fid: int) -> None:
+        """Write-through buffer bypass of one arriving flit: like
+        ``_traverse_batch`` but the flit never touches the buffer (no
+        pop, no buffer read) and the circuit refresh is a guaranteed
+        fast path (matching register, matching holder)."""
+        np = self._np
+        V = self._V
+        stats = self.stats
+        ip_ = aivc // V
+        self._cred_bucket.setdefault(c + self._cd, []).append(
+            np.array([int(self._lay.ip_upbase[ip_]) + aivc % V],
+                     dtype=np.int64))
+        ci = int(self.vc_out_cred[aivc])
+        self.cred[ci] -= 1
+        opid = int(self.vc_out_opid[aivc])
+        outl = int(self.vc_out_port[aivc])
+        if self.f_head[fid]:
+            pk = int(self.f_pkt[fid])
+            self.p_hops[pk] += 1
+            self.p_sa[pk] += 1
+            self.p_buf[pk] += 1
+            pair = int(self.p_pair[pk])
+            stats.e2e_packets += 1
+            if self.ip_last_pair[ip_] == pair:
+                stats.e2e_repeats += 1
+            self.ip_last_pair[ip_] = pair
+        stats.sa_bypass_flits += 1
+        stats.buf_bypass_flits += 1
+        stats.flit_hops += 1
+        stats.xbar_flits += 1
+        if self.ip_last_out[ip_] == outl:
+            stats.xbar_repeats += 1
+        self.ip_last_out[ip_] = outl
+        self.ip_st[ip_] = c
+        self.op_st[opid] = c
+        ovc = int(self.vc_out_vc[aivc])
+        self.f_vc[fid] = ovc
+        arrival = c + int(self._lay.op_latency[opid]) + 1
+        if self._lay.op_eject[opid]:
+            self._ej_pending += 1
+            self._ej_bucket.setdefault(arrival, []).append(
+                (np.array([int(self._lay.op_term[opid])], dtype=np.int64),
+                 np.array([fid], dtype=np.int64)))
+        else:
+            self._arr_bucket.setdefault(arrival, []).append(
+                (np.array([int(self._lay.op_link[opid])], dtype=np.int64),
+                 np.array([int(self._lay.op_dest[opid])], dtype=np.int64),
+                 np.array([fid], dtype=np.int64)))
+        if self.f_tail[fid]:
+            self.cred_free[ci] = True
+            self.vc_state[aivc] = 0
+            self.vc_out_port[aivc] = -1
+            self.vc_out_opid[aivc] = -1
+            self.vc_out_vc[aivc] = -1
+
+    # -- pseudo-circuit bookkeeping -------------------------------------------
+
+    def _terminate_one(self, ip_: int, reason: Termination) -> None:
+        if not self.pc_valid[ip_]:
+            return
+        self.pc_valid[ip_] = False
+        opid = ((ip_ // self._Pi) * self._Po
+                + int(self.pc_out_port[ip_]))
+        local = ip_ % self._Pi
+        if self.op_holder[opid] == local:
+            self.op_holder[opid] = -1
+        self.op_hist[opid] = local
+        self.stats.pc_terminations[reason] += 1
+
+    def _terminate_batch(self, pps, reason: Termination) -> None:
+        """Terminate a batch of valid circuits (callers guarantee the
+        valid bit; valid circuits have pairwise-distinct outputs)."""
+        self.pc_valid[pps] = False
+        opids = self._ip_opbase[pps] + self.pc_out_port[pps]
+        local = pps % self._Pi
+        held = self.op_holder[opids] == local
+        self.op_holder[opids[held]] = -1
+        self.op_hist[opids] = local
+        self.stats.pc_terminations[reason] += len(pps)
+
+    def _pc_maintenance(self, c: int, work_r, wall: bool) -> None:
+        """End-of-cycle upkeep: credit terminations on held outputs,
+        speculative restoration on free ones (Router._pc_maintenance).
+        Candidate and free-output snapshots are taken before the
+        NO_CREDIT pass — its terminations only create candidates at
+        their own creditless port, which cannot restore this cycle."""
+        np = self._np
+        Pi, Po = self._Pi, self._Po
+        holder = self.op_holder
+        if self._pc_speculation:
+            candm = (~self.pc_valid) & (self.pc_in_vc >= 0)
+            free_pre = holder == -1
+        else:
+            candm = None
+        heldm = holder >= 0
+        if not wall:
+            heldm = heldm & work_r.repeat(Po)
+        held = (heldm).nonzero()[0]
+        if len(held):
+            anyc = (self._credview[held] > 0).any(axis=1)
+            dead = held[~anyc]
+            if len(dead):
+                self._terminate_batch(self._op_ipbase[dead] + holder[dead],
+                                      Termination.NO_CREDIT)
+        if candm is None:
+            return
+        if not wall:
+            candm = candm & work_r.repeat(Pi)
+        cp = (candm).nonzero()[0]
+        if not len(cp):
+            return
+        copid = self._ip_opbase[cp] + self.pc_out_port[cp]
+        sel = free_pre[copid] & self._lay.op_valid[copid]
+        cp, copid = cp[sel], copid[sel]
+        if not len(cp):
+            return
+        so = copid.argsort(kind="stable")
+        sc = copid[so]
+        fm = np.empty(len(sc), dtype=bool)
+        fm[0] = True
+        fm[1:] = sc[1:] != sc[:-1]
+        uo = sc[fm]
+        # Stable sort + ascending cp: first index per group is the
+        # lowest register index pointing at that output.
+        chosen = cp[so[fm]]
+        multi = np.empty(len(sc), dtype=bool)
+        multi[-1] = False
+        multi[:-1] = ~fm[1:]
+        multi = multi[fm]  # group has a second member right after its first
+        if multi.any():
+            # Several invalidated circuits point here: the history
+            # register picks the most recently terminated one, or none.
+            hist = self.op_hist[uo]
+            histp = self._op_ipbase[uo] + np.maximum(hist, 0)
+            okh = ((hist >= 0) & candm[histp]
+                   & (self.pc_out_port[histp] == uo % Po))
+            chosen = np.where(multi & okh, histp, chosen)
+            keep = (~multi) | okh
+            uo, chosen = uo[keep], chosen[keep]
+            if not len(uo):
+                return
+        credok = (self._credview[uo] > 0).any(axis=1)
+        uo, chosen = uo[credok], chosen[credok]
+        if len(uo):
+            self.pc_valid[chosen] = True
+            self.op_holder[uo] = chosen % Pi
+            self.stats.pc_restored += len(uo)

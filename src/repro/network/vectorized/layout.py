@@ -1,0 +1,154 @@
+"""Static structure-of-arrays layout for the vectorized network core.
+
+Flattens the (router, port, vc) id spaces of a topology into dense
+integer indices so the per-cycle pipeline in ``core.py`` can address all
+state with array gathers:
+
+* input port   ``ipid = router * Pi + port``        (``Pi`` = max inports)
+* input VC     ``ivc  = ipid * V + vc``
+* output port  ``opid = router * Po + port``        (``Po`` = max outports)
+* output VC    ``ovc  = opid * V + vc``
+
+Credit counters live in one unified array: indices ``[0, NOVC)`` are the
+router-side output VCs (including ejection endpoints), followed by ``T*V``
+NIC injection-side counters. ``ip_upbase[ipid]`` holds the credit-space
+base index (vc 0) of the upstream endpoint a port's credit returns
+replenish, which makes the credit-return scatter a single ``add.at``.
+
+Only point-to-point channels are supported (one endpoint per channel);
+``core.py`` rejects multidrop topologies before building a layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...topology.base import Topology
+from ..backend import require_numpy
+from ..config import NetworkConfig
+
+
+@dataclass
+class Layout:
+    """Wiring and routing arrays shared by every cycle of a simulation."""
+
+    R: int          # routers
+    T: int          # terminals
+    V: int          # VCs per port
+    D: int          # input buffer depth (ring capacity)
+    C: int          # route choices
+    Pi: int         # max input ports per router
+    Po: int         # max output ports per router
+    NIP: int        # R * Pi
+    NIVC: int       # NIP * V
+    NOP: int        # R * Po
+    NOVC: int       # NOP * V
+    NCRED: int      # NOVC + T * V
+    nip: object     # [R] actual input-port count (VA rotation modulus)
+    op_valid: object    # [NOP] bool: port drives a channel or the NIC
+    op_latency: object  # [NOP] channel latency
+    op_link: object     # [NOP] global link id (-1: ejection/invalid)
+    op_dest: object     # [NOP] downstream ipid (-1: ejection/invalid)
+    op_eject: object    # [NOP] bool
+    op_term: object     # [NOP] terminal behind an ejection port (-1)
+    ip_upbase: object   # [NIP] credit base of the upstream endpoint (-1)
+    inj_ipid: object    # [T] router input port fed by the NIC
+    inj_link: object    # [T] link id of the injection channel
+    ej_opid: object     # [T] router ejection output port
+    route_out: object   # [R, C, T] out_port gather table
+    route_lo: object    # [C] VC window per route choice
+    route_hi: object    # [C]
+    cred_init: object   # [NCRED] initial credit counts
+
+
+def build_layout(topology: Topology, config: NetworkConfig,
+                 compiled) -> Layout:
+    """Flatten ``topology`` wiring + ``compiled`` routing into arrays."""
+    np = require_numpy()
+    R = topology.num_routers
+    T = topology.num_terminals
+    V = config.num_vcs
+    D = config.buffer_depth
+    Pi = max(topology.num_inports(r) for r in range(R))
+    Po = max(topology.num_outports(r) for r in range(R))
+    NIP = R * Pi
+    NIVC = NIP * V
+    NOP = R * Po
+    NOVC = NOP * V
+    NCRED = NOVC + T * V
+
+    nip = np.array([topology.num_inports(r) for r in range(R)],
+                   dtype=np.int64)
+    op_valid = np.zeros(NOP, dtype=bool)
+    op_latency = np.zeros(NOP, dtype=np.int64)
+    op_link = np.full(NOP, -1, dtype=np.int64)
+    op_dest = np.full(NOP, -1, dtype=np.int64)
+    op_eject = np.zeros(NOP, dtype=bool)
+    op_term = np.full(NOP, -1, dtype=np.int64)
+    op_depth = np.zeros(NOP, dtype=np.int64)
+    ip_upbase = np.full(NIP, -1, dtype=np.int64)
+    inj_ipid = np.zeros(T, dtype=np.int64)
+    inj_link = np.zeros(T, dtype=np.int64)
+    ej_opid = np.zeros(T, dtype=np.int64)
+
+    channels = topology.channels()
+    for link_id, channel in enumerate(channels):
+        ep = channel.endpoints[0]
+        opid = channel.src_router * Po + channel.src_port
+        op_valid[opid] = True
+        op_latency[opid] = ep.latency
+        op_link[opid] = link_id
+        dest = ep.router * Pi + ep.in_port
+        op_dest[opid] = dest
+        if ip_upbase[dest] != -1:
+            raise ValueError(
+                f"input port {ep.in_port} of router {ep.router} "
+                f"wired twice")
+        ip_upbase[dest] = opid * V
+        op_depth[opid] = config.buffer_depth
+
+    # NIC wiring mirrors Network._build_nics: ejection output port per
+    # terminal, then an injection link appended after all channel links.
+    for terminal in range(T):
+        router = topology.terminal_router(terminal)
+        eject_port = topology.ejection_port(terminal)
+        inject_port = topology.injection_port(terminal)
+        opid = router * Po + eject_port
+        op_valid[opid] = True
+        op_latency[opid] = 1
+        op_eject[opid] = True
+        op_term[opid] = terminal
+        op_depth[opid] = config.eject_buffer_depth
+        ej_opid[terminal] = opid
+        ipid = router * Pi + inject_port
+        if ip_upbase[ipid] != -1:
+            raise ValueError(
+                f"injection port {inject_port} of router {router} "
+                f"wired twice")
+        ip_upbase[ipid] = NOVC + terminal * V
+        inj_ipid[terminal] = ipid
+        inj_link[terminal] = len(channels) + terminal
+
+    route_out, route_drop = compiled.as_arrays()
+    if route_drop.size and route_drop.any():
+        from ..backend import BackendUnsupportedError
+        raise BackendUnsupportedError(
+            "the vectorized backend supports only point-to-point "
+            "channels (drop index 0); use --backend scalar")
+    route_lo = np.array([lo for lo, _ in compiled.vc_ranges],
+                        dtype=np.int64)
+    route_hi = np.array([hi for _, hi in compiled.vc_ranges],
+                        dtype=np.int64)
+
+    cred_init = np.zeros(NCRED, dtype=np.int64)
+    cred_init[:NOVC] = np.repeat(op_depth, V)
+    cred_init[NOVC:] = config.buffer_depth
+
+    return Layout(
+        R=R, T=T, V=V, D=D, C=compiled.num_route_choices, Pi=Pi, Po=Po,
+        NIP=NIP, NIVC=NIVC, NOP=NOP, NOVC=NOVC, NCRED=NCRED, nip=nip,
+        op_valid=op_valid, op_latency=op_latency, op_link=op_link,
+        op_dest=op_dest, op_eject=op_eject, op_term=op_term,
+        ip_upbase=ip_upbase, inj_ipid=inj_ipid, inj_link=inj_link,
+        ej_opid=ej_opid, route_out=route_out, route_lo=route_lo,
+        route_hi=route_hi, cred_init=cred_init)

@@ -27,7 +27,7 @@ from .base import RoutingAlgorithm
 class CompiledRouting:
     """Flat routing tables for one (algorithm, topology, num_vcs) triple."""
 
-    __slots__ = ("tables", "vc_ranges", "num_route_choices")
+    __slots__ = ("tables", "vc_ranges", "num_route_choices", "_arrays")
 
     def __init__(self, tables, vc_ranges):
         #: tables[router][route_choice][dst] -> (out_port, drop, lo, hi)
@@ -35,10 +35,34 @@ class CompiledRouting:
         #: vc_ranges[route_choice] -> (lo, hi)
         self.vc_ranges = vc_ranges
         self.num_route_choices = len(vc_ranges)
+        self._arrays = None
 
     def router_table(self, router: int):
         """Per-choice destination tables for one router."""
         return self.tables[router]
+
+    def as_arrays(self):
+        """Export the tables as numpy gather arrays for the vectorized core.
+
+        Returns ``(out, drop)`` where both are int64 arrays of shape
+        ``[num_routers, num_route_choices, num_terminals]``; the per-choice
+        VC windows stay in ``vc_ranges`` (they do not vary by destination).
+        Requires numpy; cached after the first call.
+        """
+        if self._arrays is None:
+            from ..network.backend import require_numpy
+            np = require_numpy()
+            r = len(self.tables)
+            c = self.num_route_choices
+            t = len(self.tables[0][0]) if r else 0
+            out = np.empty((r, c, t), dtype=np.int64)
+            drop = np.empty((r, c, t), dtype=np.int64)
+            for router, per_choice in enumerate(self.tables):
+                for choice, entries in enumerate(per_choice):
+                    out[router, choice] = [e[0] for e in entries]
+                    drop[router, choice] = [e[1] for e in entries]
+            self._arrays = (out, drop)
+        return self._arrays
 
 
 def compile_routing(routing: RoutingAlgorithm, topology: Topology,

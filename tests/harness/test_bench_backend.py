@@ -1,0 +1,123 @@
+"""Bench backend columns, replay methodology, and the speedup gate."""
+
+import pytest
+
+from repro.harness import bench
+from repro.harness.bench import (_InjectionSchedule, _vectorized_speedup,
+                                 run_bench)
+from repro.network.config import PSEUDO_SB, NetworkConfig
+from repro.network.simulator import build_network
+from repro.topology import make_topology
+from repro.traffic.synthetic import SyntheticTraffic
+
+CYCLES = 120
+
+
+class TestInjectionSchedule:
+    def test_replay_is_bit_identical_to_live_bernoulli(self):
+        """The schedule is the Bernoulli draw sequence: replaying it must
+        give the same simulation as ticking the live source."""
+        topo = make_topology("mesh", 4, 4, 1)
+        schedule = _InjectionSchedule(0.3, CYCLES, topo.num_terminals,
+                                      seed=7)
+
+        def run(traffic):
+            net = build_network(make_topology("mesh", 4, 4, 1),
+                                config=NetworkConfig(pseudo=PSEUDO_SB),
+                                seed=7)
+            net.run(CYCLES, traffic)
+            net.drain(max_cycles=100_000)
+            return net.stats.fingerprint()
+
+        live = run(SyntheticTraffic("uniform", topo.num_terminals, 0.3, 5,
+                                    seed=7))
+        replayed = run(schedule.replay())
+        assert live == replayed
+
+    def test_replay_cursor_resets_per_replay(self):
+        schedule = _InjectionSchedule(0.5, 40, 16, seed=3)
+        first, second = schedule.replay(), schedule.replay()
+
+        class _Count:
+            n = 0
+
+            @staticmethod
+            def inject(packet):
+                _Count.n += 1
+
+        for cycle in range(40):
+            first.tick(_Count, cycle)
+        seen = _Count.n
+        assert seen == len(schedule.entries) > 0
+        for cycle in range(40):
+            second.tick(_Count, cycle)
+        assert _Count.n == 2 * seen
+
+    def test_next_injection_cycle_tracks_cursor(self):
+        schedule = _InjectionSchedule(0.5, 40, 16, seed=3)
+        replay = schedule.replay()
+        assert replay.next_injection_cycle(0) == schedule.entries[0][0]
+        for cycle in range(40):
+            replay.tick(_Sink, cycle)
+        assert replay.next_injection_cycle(40) is None
+
+
+class _Sink:
+    @staticmethod
+    def inject(packet):
+        pass
+
+
+class TestBackendColumns:
+    @pytest.fixture(scope="class")
+    def report(self):
+        pytest.importorskip("numpy")
+        return run_bench(cycles=CYCLES, repeats=1, out_path=None,
+                         show=False, backend="vectorized")
+
+    def test_rows_carry_backend_columns(self, report):
+        for row in report["workloads"]:
+            assert row["vectorized_stats_identical"] is True
+            assert row["vectorized_wall_s"] > 0
+            assert row["speedup_vectorized"] == pytest.approx(
+                row["wall_s"] / row["vectorized_wall_s"], rel=0.02)
+
+    def test_meta_records_backend_and_methodology(self, report):
+        assert report["meta"]["backend"] == "vectorized"
+        assert report["meta"]["methodology"] == bench.METHODOLOGY
+
+    def test_summary_records_speedup_geomeans(self, report):
+        assert report["summary"]["speedup_vectorized_sat"] > 0
+        assert report["summary"]["speedup_vectorized_all"] > 0
+
+    def test_scalar_bench_has_no_backend_columns(self):
+        report = run_bench(cycles=CYCLES, repeats=1, out_path=None,
+                           show=False)
+        assert report["meta"]["backend"] == "scalar"
+        for row in report["workloads"]:
+            assert "vectorized_wall_s" not in row
+        assert "speedup_vectorized_sat" not in report["summary"]
+
+
+class TestSpeedupGate:
+    def test_weighted_geomean_is_sat_only_when_asked(self):
+        rows = [
+            {"name": "low", "wall_s": 1.0, "vectorized_wall_s": 2.0},
+            {"name": "sat", "wall_s": 4.0, "vectorized_wall_s": 1.0},
+        ]
+        weights = {"low": 1, "sat": 3}
+        assert _vectorized_speedup(rows, weights, sat_only=True) == 4.0
+        # all-workloads geomean: (0.5^1 * 4^3)^(1/4) = 2**(5/4)
+        assert _vectorized_speedup(rows, weights, sat_only=False) == (
+            pytest.approx(2 ** 1.25, abs=1e-3))
+
+    def test_missing_vectorized_walls_yield_none(self):
+        rows = [{"name": "sat", "wall_s": 1.0}]
+        assert _vectorized_speedup(rows, {"sat": 3}, sat_only=True) is None
+
+    def test_gate_floor_failure_raises(self):
+        pytest.importorskip("numpy")
+        with pytest.raises(AssertionError, match="below the required"):
+            run_bench(cycles=CYCLES, repeats=1, out_path=None, show=False,
+                      gate=True, backend="vectorized",
+                      min_backend_speedup=10_000.0)

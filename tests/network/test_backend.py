@@ -1,0 +1,114 @@
+"""The backend seam: selection, config plumbing, and refusal paths."""
+
+import pytest
+
+from repro.harness.experiment import (ExperimentConfig, build_network,
+                                      run_experiment)
+from repro.network.backend import (BACKENDS, BackendUnsupportedError,
+                                   default_backend, resolve_backend,
+                                   set_default_backend)
+from repro.network.simulator import Network
+
+
+@pytest.fixture
+def scalar_default():
+    """Restore the process default backend after the test."""
+    previous = default_backend()
+    yield
+    set_default_backend(previous)
+
+
+class TestRegistry:
+    def test_resolve_passthrough_and_default(self):
+        assert resolve_backend("scalar") == "scalar"
+        assert resolve_backend("vectorized") == "vectorized"
+        assert resolve_backend(None) == default_backend()
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown network backend"):
+            resolve_backend("simd")
+        with pytest.raises(ValueError, match="unknown network backend"):
+            set_default_backend("simd")
+
+    def test_set_default_round_trip(self, scalar_default):
+        previous = set_default_backend("vectorized")
+        assert default_backend() == "vectorized"
+        assert resolve_backend(None) == "vectorized"
+        set_default_backend(previous)
+        assert default_backend() == previous
+
+
+class TestConfigPlumbing:
+    def test_backend_resolved_at_construction(self):
+        cfg = ExperimentConfig(pattern="uniform")
+        assert cfg.backend == "scalar"
+
+    def test_unset_backend_freezes_process_default(self, scalar_default):
+        set_default_backend("vectorized")
+        cfg = ExperimentConfig(pattern="uniform")
+        assert cfg.backend == "vectorized"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown network backend"):
+            ExperimentConfig(pattern="uniform", backend="simd")
+
+    def test_backends_never_alias_in_cache_or_store(self):
+        from repro.store import store_key
+        scalar = ExperimentConfig(pattern="uniform", backend="scalar")
+        vector = ExperimentConfig(pattern="uniform", backend="vectorized")
+        assert scalar != vector
+        assert store_key(scalar) != store_key(vector)
+
+
+class TestBuildDispatch:
+    def test_scalar_build(self):
+        cfg = ExperimentConfig(topology="mesh", kx=2, ky=2, concentration=1,
+                               pattern="uniform", backend="scalar")
+        assert type(build_network(cfg)) is Network
+
+    def test_vectorized_build(self):
+        pytest.importorskip("numpy")
+        from repro.network.vectorized import VectorNetwork
+        cfg = ExperimentConfig(topology="mesh", kx=2, ky=2, concentration=1,
+                               routing="xy", pattern="uniform",
+                               backend="vectorized")
+        assert type(build_network(cfg)) is VectorNetwork
+
+
+class TestRefusals:
+    """Unsupported combinations fail loudly, never silently fall back."""
+
+    def test_probe_rejected(self):
+        pytest.importorskip("numpy")
+        cfg = ExperimentConfig(topology="mesh", kx=2, ky=2, concentration=1,
+                               routing="xy", pattern="uniform",
+                               backend="vectorized")
+        with pytest.raises(BackendUnsupportedError, match="probes"):
+            build_network(cfg, probe=object())
+
+    def test_checked_run_rejected(self):
+        pytest.importorskip("numpy")
+        cfg = ExperimentConfig(topology="mesh", kx=2, ky=2, concentration=1,
+                               routing="xy", pattern="uniform",
+                               backend="vectorized")
+        with pytest.raises(BackendUnsupportedError, match="probes"):
+            run_experiment(cfg, check=True)
+
+    def test_multidrop_topology_rejected(self):
+        # MECS at 4x4 has true multidrop express channels (2x2 is
+        # degenerate: single-hop rows/columns are point-to-point).
+        pytest.importorskip("numpy")
+        cfg = ExperimentConfig(topology="mecs", kx=4, ky=4, concentration=4,
+                               routing="xy", pattern="uniform",
+                               backend="vectorized")
+        with pytest.raises(BackendUnsupportedError,
+                           match="point-to-point"):
+            build_network(cfg)
+
+    def test_require_numpy_returns_module_when_available(self):
+        numpy = pytest.importorskip("numpy")
+        from repro.network.backend import require_numpy
+        assert require_numpy() is numpy
+
+    def test_backends_tuple_is_the_public_contract(self):
+        assert BACKENDS == ("scalar", "vectorized")

@@ -1,0 +1,105 @@
+"""Backend parity: the vectorized core is bit-identical to the scalar one.
+
+Every supported configuration must produce the same ``NetworkStats``
+fingerprint, the same latency histogram, and the same final cycle on
+both backends — the vectorized core is a performance backend, never a
+semantic fork. The grid here covers the canonical bench workloads (at
+reduced cycles), every pseudo-circuit scheme, both VC policies, every
+tabulable routing algorithm, every point-to-point topology, and a
+monitored (``check=True``) scalar run cross-checked against an
+unmonitored vectorized one.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.network.config import (ALL_SCHEMES, BASELINE, PSEUDO_SB,
+                                  NetworkConfig)
+from repro.network.simulator import Network
+from repro.network.vectorized import VectorNetwork
+from repro.topology import make_topology
+from repro.traffic.synthetic import SyntheticTraffic
+
+
+def _run(cls, topo_args, scheme, rate, cycles, *, routing="xy",
+         vc_policy="dynamic", seed=7, packet_size=5):
+    topo = make_topology(*topo_args)
+    net = cls(topo, NetworkConfig(pseudo=scheme), routing=routing,
+              vc_policy=vc_policy, seed=seed)
+    traffic = SyntheticTraffic("uniform", topo.num_terminals, rate,
+                               packet_size, seed=seed)
+    net.stats.warmup_cycles = cycles // 5
+    net.run(cycles, traffic)
+    net.drain(max_cycles=500_000)
+    net.check_invariants()
+    return net
+
+
+def assert_parity(topo_args, scheme, rate, cycles, **kw):
+    scalar = _run(Network, topo_args, scheme, rate, cycles, **kw)
+    vector = _run(VectorNetwork, topo_args, scheme, rate, cycles, **kw)
+    assert scalar.stats.fingerprint() == vector.stats.fingerprint()
+    assert scalar.stats.latency_histogram == vector.stats.latency_histogram
+    assert scalar.cycle == vector.cycle
+
+
+class TestCanonicalWorkloads:
+    """The bench's canonical 8x8 workloads, at reduced cycles."""
+
+    @pytest.mark.parametrize("scheme,rate", [
+        (BASELINE, 0.02), (PSEUDO_SB, 0.02),
+        (BASELINE, 0.30), (PSEUDO_SB, 0.30),
+    ], ids=["low-baseline", "low-pseudo_sb",
+            "sat-baseline", "sat-pseudo_sb"])
+    def test_mesh8x8(self, scheme, rate):
+        assert_parity(("mesh", 8, 8, 1), scheme, rate, cycles=400)
+
+
+class TestSchemeGrid:
+    """Every scheme x VC policy near saturation on a small mesh."""
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES,
+                             ids=[s.label for s in ALL_SCHEMES])
+    @pytest.mark.parametrize("vc_policy", ["dynamic", "static"])
+    def test_mesh4x4(self, scheme, vc_policy):
+        assert_parity(("mesh", 4, 4, 1), scheme, 0.25, cycles=400,
+                      vc_policy=vc_policy)
+
+
+class TestRoutingAndTopology:
+    @pytest.mark.parametrize("routing", ["xy", "yx", "o1turn"])
+    def test_routings(self, routing):
+        assert_parity(("mesh", 4, 4, 1), PSEUDO_SB, 0.20, cycles=300,
+                      routing=routing)
+
+    @pytest.mark.parametrize("topo_args", [
+        ("cmesh", 2, 2, 4), ("fbfly", 2, 2, 4)],
+        ids=["cmesh", "fbfly"])
+    def test_concentrated_topologies(self, topo_args):
+        assert_parity(topo_args, PSEUDO_SB, 0.15, cycles=300)
+
+    @pytest.mark.parametrize("seed", [1, 11, 42])
+    def test_seeds(self, seed):
+        assert_parity(("mesh", 4, 4, 1), PSEUDO_SB, 0.30, cycles=300,
+                      seed=seed)
+
+
+class TestMonitoredRun:
+    def test_checked_scalar_matches_vectorized(self):
+        """A ``check=True`` scalar run (full monitor suite attached) must
+        report the same metrics as the vectorized backend: monitors are
+        read-only, and the backends are bit-identical underneath them."""
+        base = dict(topology="mesh", kx=4, ky=4, concentration=1,
+                    routing="xy", scheme=PSEUDO_SB, pattern="uniform",
+                    rate=0.25, synth_cycles=400, synth_warmup=80, seed=7)
+        checked = run_experiment(ExperimentConfig(backend="scalar", **base),
+                                 check=True)
+        assert checked.monitor_report["violation_count"] == 0
+        vector = run_experiment(
+            ExperimentConfig(backend="vectorized", **base), use_cache=False)
+        for field in ("avg_latency", "avg_network_latency", "avg_hops",
+                      "reusability", "buffer_bypass_rate", "packets",
+                      "flit_hops", "energy_pj", "pc_restored"):
+            assert getattr(checked, field) == getattr(vector, field), field
