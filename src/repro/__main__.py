@@ -245,6 +245,8 @@ def _cmd_sweep(args) -> int:
     if args.cycles is not None:
         overrides["synth_cycles"] = args.cycles
         overrides["synth_warmup"] = args.cycles // 4
+    if args.batch_size is not None:
+        overrides["batch_size"] = args.batch_size
     rows = fn(max_workers=args.workers, check=args.check,
               journal=args.journal, resume=args.resume,
               retries=args.retries, backoff_base=args.backoff,
@@ -292,9 +294,12 @@ def _add_store_arg(p) -> None:
 def _add_backend_arg(p) -> None:
     """--backend NAME: pick the network core for every simulation."""
     p.add_argument("--backend", default=None, choices=list(BACKENDS),
-                   help="network core: scalar (default) or the numpy "
-                        "structure-of-arrays core (bit-identical stats; "
-                        "needs repro[fast])")
+                   help="network core: scalar (default), the numpy "
+                        "structure-of-arrays core (vectorized), batched "
+                        "(groups compatible sweep points into multi-lane "
+                        "runs), or auto (calibrated per-point choice); "
+                        "all bit-identical stats; non-scalar cores need "
+                        "repro[fast]")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -405,6 +410,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seconds without any completed chunk before "
                               "the worker pool is abandoned and the sweep "
                               "degrades to serial execution")
+    sweep_p.add_argument("--batch-size", type=int, default=None,
+                         metavar="N",
+                         help="max sweep points grouped into one "
+                              "multi-lane batched run (default 16; 1 "
+                              "disables batching; only points with "
+                              "--backend batched or auto group)")
 
     bench_p = sub.add_parser(
         "bench", help="time canonical workloads, write BENCH_core.json")
@@ -430,6 +441,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="with --gate --backend vectorized: fail "
                               "unless the saturation-workload speedup "
                               "geomean over the scalar core reaches X")
+    bench_p.add_argument("--min-batched-speedup", type=float, default=None,
+                         metavar="X",
+                         help="with --gate and a vectorized-capable "
+                              "--backend: fail unless the 16-point "
+                              "batched sweep beats per-point vectorized "
+                              "execution by at least X times")
     _add_store_arg(bench_p)
     bench_p.add_argument("--journal", default=None, metavar="PATH",
                          help="checkpoint every timed workload row to "
@@ -485,7 +502,8 @@ def main(argv=None) -> int:
                   profile=args.profile, gate=args.gate, check=args.check,
                   journal=args.journal, resume=args.resume,
                   backend=args.backend or "scalar",
-                  min_backend_speedup=args.min_backend_speedup, **kwargs)
+                  min_backend_speedup=args.min_backend_speedup,
+                  min_batched_speedup=args.min_batched_speedup, **kwargs)
         return 0
     if args.command == "compare":
         return _cmd_compare(args)

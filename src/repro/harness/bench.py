@@ -45,6 +45,19 @@ stats fingerprint is bit-identical to the scalar core's, and records
 per-workload ``vectorized_wall_s``/``speedup_vectorized`` columns plus
 saturation/overall speedup geomeans in the summary — the scalar columns
 keep their historical meaning, so the perf trajectory stays comparable.
+Every vectorized-capable backend (``vectorized``/``auto``/``batched``)
+also times the 16-point low-load sweep once per point on the solo
+vectorized core and once as 16 lanes of one ``BatchNetwork`` (the
+``batched`` report section; every lane hard-asserted bit-identical to
+its solo reference; ``--min-batched-speedup`` puts a gate floor under
+the speedup). ``backend="auto"`` first runs the selector
+microcalibration — measuring the scalar/vectorized crossover and
+recording it as the report's ``calibration`` block, which
+``repro.network.backend.load_calibration`` installs in later processes
+— then records per-workload ``recommended_backend``/``fastest_backend``
+columns; ``--gate`` fails when the selector disagrees with the measured
+fastest core on more than one workload or recommends a core over 5%
+slower than the best.
 """
 
 from __future__ import annotations
@@ -103,6 +116,22 @@ PR1_WALL_S = {
 DEFAULT_CYCLES = 1500
 DEFAULT_REPEATS = 3
 _SEED = 7
+
+#: Bench backends that time the vectorized core alongside the scalar one.
+#: ``auto`` additionally runs the selector microcalibration and records
+#: per-workload ``recommended_backend`` / ``fastest_backend`` columns;
+#: every backend in this tuple also times the batched 16-point sweep.
+_VEC_BACKENDS = ("vectorized", "auto", "batched")
+
+#: Offered-load points probed by the selector microcalibration
+#: (flits/terminal/cycle on the canonical 8x8 mesh).
+CALIBRATION_RATES = (0.02, 0.05, 0.10, 0.20, 0.30)
+
+#: The batched-backend benchmark: a 16-point low-load sweep (rates cycle
+#: through this tuple, seeds vary per point) timed once per point on the
+#: solo vectorized core and once as 16 lanes of one ``BatchNetwork``.
+BATCHED_SWEEP_LANES = 16
+BATCHED_SWEEP_RATES = (0.01, 0.02, 0.03, 0.04)
 
 #: Timing-methodology tag written to ``meta``; the timing gate only
 #: compares walls between reports with matching tags. Bump when the
@@ -209,15 +238,19 @@ def time_workload(scheme, rate: float, cycles: int = DEFAULT_CYCLES,
                   backend: str = "scalar") -> dict:
     """Time one workload in both stepping modes and cross-check stats.
 
-    With ``backend="vectorized"`` the workload is additionally timed on
-    the vectorized core against the same injection schedule, its stats
-    fingerprint is asserted bit-identical to the scalar core's, and the
-    row gains ``vectorized_wall_s`` / ``speedup_vectorized`` /
-    ``vectorized_stats_identical`` columns.
+    With ``backend="vectorized"`` (or ``"auto"``/``"batched"``) the
+    workload is additionally timed on the vectorized core against the
+    same injection schedule, its stats fingerprint is asserted
+    bit-identical to the scalar core's, and the row gains
+    ``vectorized_wall_s`` / ``speedup_vectorized`` /
+    ``vectorized_stats_identical`` columns. ``backend="auto"`` further
+    records what ``choose_backend`` would pick for the workload
+    (``recommended_backend``), which core actually measured fastest
+    (``fastest_backend``), and the wall the recommendation implies
+    (``auto_wall_s``) — the raw material of the auto-selector gate.
     """
-    schedule = _InjectionSchedule(rate, cycles,
-                                  make_topology("mesh", 8, 8, 1)
-                                  .num_terminals)
+    terminals = make_topology("mesh", 8, 8, 1).num_terminals
+    schedule = _InjectionSchedule(rate, cycles, terminals)
     active_walls, reference_walls, vec_walls = [], [], []
     active_stats = reference_stats = vec_stats = None
     for _ in range(repeats):
@@ -227,7 +260,7 @@ def time_workload(scheme, rate: float, cycles: int = DEFAULT_CYCLES,
         reference_stats, wall = _simulate(scheme, rate, cycles,
                                           active=False, schedule=schedule)
         reference_walls.append(wall)
-        if backend == "vectorized":
+        if backend in _VEC_BACKENDS:
             vec_stats, wall = _simulate(scheme, rate, cycles, active=True,
                                         backend="vectorized",
                                         schedule=schedule)
@@ -248,7 +281,7 @@ def time_workload(scheme, rate: float, cycles: int = DEFAULT_CYCLES,
         "speedup_vs_reference": round(reference_wall_s / wall_s, 3),
         "stats_identical": True,
     }
-    if backend == "vectorized":
+    if backend in _VEC_BACKENDS:
         if vec_stats != active_stats:
             diverged = sorted(
                 k for k in set(vec_stats) | set(active_stats)
@@ -260,7 +293,145 @@ def time_workload(scheme, rate: float, cycles: int = DEFAULT_CYCLES,
         row["vectorized_wall_s"] = round(vec_wall_s, 4)
         row["speedup_vectorized"] = round(wall_s / vec_wall_s, 3)
         row["vectorized_stats_identical"] = True
+    if backend == "auto":
+        from ..network.backend import choose_backend
+        recommended = choose_backend(terminals=terminals, rate=rate,
+                                     pseudo=scheme.enabled)
+        row["recommended_backend"] = recommended
+        row["fastest_backend"] = ("vectorized"
+                                  if row["vectorized_wall_s"] < wall_s
+                                  else "scalar")
+        row["auto_wall_s"] = (row["vectorized_wall_s"]
+                              if recommended == "vectorized" else
+                              row["wall_s"])
     return row
+
+
+def calibrate_selector(cycles: int = 600, show: bool = True) -> dict:
+    """Measure the scalar/vectorized crossover and install it.
+
+    Times both cores over ``CALIBRATION_RATES`` on the canonical 8x8
+    mesh (replayed injections, one repeat — a probe, not a benchmark)
+    and places the crossover at the midpoint of the bracketing
+    offered-load points, per scheme kind. The measured block is
+    installed via ``repro.network.backend.set_calibration`` — so the
+    ``auto`` columns of the same bench run use it — and returned for
+    recording into BENCH_core.json, where ``load_calibration`` can pick
+    it up in later processes.
+    """
+    from ..network.backend import set_calibration
+    terminals = make_topology("mesh", 8, 8, 1).num_terminals
+    cross: dict[str, float] = {}
+    probe: dict[str, list] = {}
+    for kind, scheme in (("baseline", BASELINE), ("pseudo", PSEUDO_SB)):
+        rows = []
+        for rate in CALIBRATION_RATES:
+            schedule = _InjectionSchedule(rate, cycles, terminals)
+            _, scalar_wall = _simulate(scheme, rate, cycles, active=True,
+                                       schedule=schedule)
+            _, vec_wall = _simulate(scheme, rate, cycles, active=True,
+                                    backend="vectorized", schedule=schedule)
+            rows.append({"rate": rate,
+                         "offered_flits_per_cycle": round(rate * terminals,
+                                                          3),
+                         "scalar_wall_s": round(scalar_wall, 4),
+                         "vectorized_wall_s": round(vec_wall, 4)})
+        crossover = None
+        prev = None
+        for row in rows:
+            if row["vectorized_wall_s"] <= row["scalar_wall_s"]:
+                if prev is None:
+                    crossover = row["offered_flits_per_cycle"]
+                else:
+                    crossover = (prev["offered_flits_per_cycle"]
+                                 + row["offered_flits_per_cycle"]) / 2
+                break
+            prev = row
+        if crossover is None:
+            # The vectorized core never won in the probed range: place
+            # the crossover past it so ``auto`` keeps picking scalar.
+            crossover = rows[-1]["offered_flits_per_cycle"] * 2
+        cross[kind] = round(crossover, 2)
+        probe[kind] = rows
+    set_calibration({"crossover_flits_per_cycle": cross,
+                     "source": "measured"})
+    if show:
+        print(f"{'selector calibration (flits/cyc)':32s} "
+              f"baseline {cross['baseline']:g}  pseudo {cross['pseudo']:g}")
+    return {"crossover_flits_per_cycle": cross, "source": "measured",
+            "probe": {"cycles": cycles, "terminals": terminals,
+                      "rates": list(CALIBRATION_RATES),
+                      "workloads": probe}}
+
+
+def time_batched_sweep(cycles: int = DEFAULT_CYCLES,
+                       repeats: int = DEFAULT_REPEATS) -> dict:
+    """Time a 16-point low-load sweep solo-vectorized vs lane-batched.
+
+    Every point runs the canonical 8x8 mesh with the full Pseudo+S+B
+    scheme under uniform Bernoulli traffic (rates cycle through
+    ``BATCHED_SWEEP_RATES``, seeds vary per point). The solo wall sums
+    16 independent ``VectorNetwork`` runs; the batched wall is one
+    16-lane ``BatchNetwork`` run over byte-identical injection
+    sequences (``SyntheticTraffic`` pre-draws its outcomes, so solo and
+    lane consume the same stream). Every lane's stats fingerprint is
+    hard-asserted identical to its solo reference before any timing is
+    reported. Walls are best-of-``repeats``.
+    """
+    from ..network.vectorized import BatchNetwork, VectorNetwork
+    config = NetworkConfig(num_vcs=4, buffer_depth=4, pseudo=PSEUDO_SB)
+    topo = make_topology("mesh", 8, 8, 1)
+    terminals = topo.num_terminals
+    points = [(BATCHED_SWEEP_RATES[i % len(BATCHED_SWEEP_RATES)], _SEED + i)
+              for i in range(BATCHED_SWEEP_LANES)]
+    warmup = cycles // 5
+
+    def traffics():
+        return [SyntheticTraffic("uniform", terminals, rate, 5, seed=seed)
+                for rate, seed in points]
+
+    solo_walls, batched_walls = [], []
+    for _ in range(repeats):
+        solo_prints = []
+        wall = 0.0
+        for (rate, seed), traffic in zip(points, traffics()):
+            net = VectorNetwork(topo, config, seed=seed)
+            net.stats.warmup_cycles = warmup
+            start = time.perf_counter()
+            net.run(cycles, traffic)
+            net.drain(max_cycles=500_000)
+            wall += time.perf_counter() - start
+            solo_prints.append(net.stats.fingerprint())
+        solo_walls.append(wall)
+        bnet = BatchNetwork(topo, config,
+                            seeds=[seed for _, seed in points])
+        batch_traffics = traffics()
+        start = time.perf_counter()
+        bnet.run_batch(batch_traffics, [cycles] * len(points),
+                       warmups=[warmup] * len(points))
+        bnet.drain(max_cycles=500_000)
+        batched_walls.append(time.perf_counter() - start)
+        for lane, solo in enumerate(solo_prints):
+            got = bnet.lane_stats(lane).fingerprint()
+            if got != solo:
+                diverged = sorted(k for k in set(got) | set(solo)
+                                  if got.get(k) != solo.get(k))
+                raise AssertionError(
+                    f"batched lane {lane} (rate "
+                    f"{points[lane][0]}, seed {points[lane][1]}) diverged "
+                    f"from its solo vectorized reference: {diverged}")
+    solo_wall_s = min(solo_walls)
+    batched_wall_s = min(batched_walls)
+    return {
+        "name": "mesh8x8-lowload-sweep16-pseudo_sb",
+        "lanes": len(points),
+        "rates": sorted(set(rate for rate, _ in points)),
+        "cycles": cycles,
+        "solo_vectorized_wall_s": round(solo_wall_s, 4),
+        "batched_wall_s": round(batched_wall_s, 4),
+        "speedup_batched": round(solo_wall_s / batched_wall_s, 3),
+        "stats_identical": True,
+    }
 
 
 def _weighted_geomean_speedup(workloads: list[dict], baseline_key: str,
@@ -323,7 +494,8 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
               gate: bool = False, check: bool = False,
               journal: str | None = None, resume: bool = False,
               backend: str = "scalar",
-              min_backend_speedup: float | None = None) -> dict:
+              min_backend_speedup: float | None = None,
+              min_batched_speedup: float | None = None) -> dict:
     """Time every canonical workload; optionally write ``BENCH_core.json``.
 
     ``check=True`` additionally runs the monitored self-check
@@ -336,10 +508,19 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
     them (the resumed rows carry the walls the interrupted run measured —
     fine for finishing a report, not for an apples-to-apples perf gate).
 
-    ``backend="vectorized"`` also times every workload on the vectorized
-    core (scalar-parity asserted; per-row speedup columns, summary
-    geomeans). With ``gate=True`` and ``min_backend_speedup`` set, the
-    run fails unless the saturation-workload speedup geomean reaches it.
+    ``backend="vectorized"`` (or ``"auto"``/``"batched"``) also times
+    every workload on the vectorized core (scalar-parity asserted;
+    per-row speedup columns, summary geomeans) plus the 16-point
+    lane-batched sweep (``batched`` report section, every lane
+    fingerprint hard-asserted against its solo reference). With
+    ``gate=True``, ``min_backend_speedup`` sets a floor on the
+    saturation speedup geomean and ``min_batched_speedup`` one on the
+    batched-sweep speedup. ``backend="auto"`` additionally runs the
+    selector microcalibration (recorded as the report's ``calibration``
+    block), records ``recommended_backend``/``fastest_backend`` per
+    workload, and — under ``gate=True`` — fails when the selector
+    disagrees with the measured fastest core on more than one workload
+    or its pick is over 5% slower than the best core anywhere.
     """
     previous = None
     if gate and out_path is not None and os.path.exists(out_path):
@@ -354,6 +535,13 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
         else:
             bench_journal.truncate()
     start_wall = time.perf_counter()
+    calibration_block = None
+    if backend == "auto":
+        # Measure before timing the workloads so the auto columns (and
+        # the gate) judge the freshly calibrated selector, not a stale
+        # or default one.
+        calibration_block = calibrate_selector(cycles=min(cycles, 600),
+                                               show=show)
     workloads = []
     weights = {name: weight for name, _, _, weight in CANONICAL_WORKLOADS}
     at_default_scale = cycles == DEFAULT_CYCLES
@@ -386,12 +574,29 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
             if vec is not None:
                 trail += (f"  vec {row['vectorized_wall_s']:.3f}s "
                           f"({vec}x)")
+            recommended = row.get("recommended_backend")
+            if recommended is not None:
+                trail += f"  auto->{recommended}"
             print(f"{name:32s} {row['wall_s']:7.3f}s  "
                   f"(reference {row['reference_wall_s']:7.3f}s){trail}")
+    batched_row = None
+    if backend in _VEC_BACKENDS:
+        journal_key = (f"bench:batched-sweep:cycles={cycles}"
+                       f":repeats={repeats}")
+        batched_row = completed_rows.get(journal_key)
+        if batched_row is None:
+            batched_row = time_batched_sweep(cycles, repeats)
+            if bench_journal is not None:
+                bench_journal.append(journal_key, batched_row)
+        if show:
+            print(f"{batched_row['name']:32s} "
+                  f"{batched_row['batched_wall_s']:7.3f}s  "
+                  f"(solo vec {batched_row['solo_vectorized_wall_s']:7.3f}s)"
+                  f"  batched {batched_row['speedup_batched']}x")
     if bench_journal is not None:
         bench_journal.close()
     summary = {}
-    if backend == "vectorized":
+    if backend in _VEC_BACKENDS:
         summary["speedup_vectorized_sat"] = _vectorized_speedup(
             workloads, weights, sat_only=True)
         summary["speedup_vectorized_all"] = _vectorized_speedup(
@@ -399,6 +604,23 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
         if show and summary["speedup_vectorized_sat"] is not None:
             print(f"{'vectorized speedup (sat geomean)':32s} "
                   f"{summary['speedup_vectorized_sat']:7.3f}x")
+    if batched_row is not None:
+        summary["speedup_batched"] = batched_row["speedup_batched"]
+    if backend == "auto":
+        disagreements = [row["name"] for row in workloads
+                         if row["recommended_backend"]
+                         != row["fastest_backend"]]
+        penalty = max(
+            row["auto_wall_s"]
+            / min(row["wall_s"], row["vectorized_wall_s"]) - 1.0
+            for row in workloads)
+        summary["recommended_backend"] = {
+            row["name"]: row["recommended_backend"] for row in workloads}
+        summary["auto_disagreements"] = disagreements
+        summary["auto_max_penalty"] = round(penalty, 4)
+        if show:
+            print(f"{'auto selector':32s} {len(disagreements)} "
+                  f"disagreement(s), max penalty {penalty:+.2%}")
     if at_default_scale:
         summary.update({
             "weighted_speedup_vs_pr1": _weighted_geomean_speedup(
@@ -433,6 +655,10 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
         "summary": summary,
         "workloads": workloads,
     }
+    if calibration_block is not None:
+        report["calibration"] = calibration_block
+    if batched_row is not None:
+        report["batched"] = batched_row
     if gate:
         # Scale-independent checks always run; the timing comparison only
         # applies against a previous report at the same cycle count and
@@ -450,7 +676,7 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
         elif show:
             print("timing gate: skipped (no previous report at this "
                   "scale/methodology)")
-        if backend == "vectorized":
+        if backend in _VEC_BACKENDS:
             # Parity already hard-asserted per workload in time_workload;
             # record it, plus the speedup floor when one was requested.
             sat = summary.get("speedup_vectorized_sat")
@@ -471,6 +697,48 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
                 print(f"backend gate: vectorized parity ok, sat speedup "
                       f"{sat}x" + (f" (floor {min_backend_speedup}x)"
                                    if min_backend_speedup else ""))
+        if batched_row is not None:
+            gate_report["batched"] = {
+                "speedup_batched": batched_row["speedup_batched"],
+                "stats_identical": batched_row["stats_identical"],
+                "min_batched_speedup": min_batched_speedup,
+            }
+            if (min_batched_speedup is not None
+                    and batched_row["speedup_batched"]
+                    < min_batched_speedup):
+                raise AssertionError(
+                    f"batched-backend gate: sweep speedup "
+                    f"{batched_row['speedup_batched']} below the required "
+                    f"{min_batched_speedup}x")
+            if show:
+                print(f"batched gate: lane parity ok, sweep speedup "
+                      f"{batched_row['speedup_batched']}x"
+                      + (f" (floor {min_batched_speedup}x)"
+                         if min_batched_speedup else ""))
+        if backend == "auto":
+            # The selector is judged against the measurements of this
+            # very run: one disagreement is tolerated (the crossover
+            # region is noise-sensitive), two means the calibration is
+            # wrong; a >5% penalty means auto's pick costs real time.
+            disagreements = summary["auto_disagreements"]
+            penalty = summary["auto_max_penalty"]
+            gate_report["auto"] = {
+                "disagreements": disagreements,
+                "max_penalty": penalty,
+            }
+            if len(disagreements) > 1:
+                raise AssertionError(
+                    f"auto-selector gate: recommended backend disagrees "
+                    f"with the measured fastest on {len(disagreements)} "
+                    f"workloads: {disagreements}")
+            if penalty > 0.05:
+                raise AssertionError(
+                    f"auto-selector gate: auto's pick is {penalty:.1%} "
+                    f"slower than the best backend on some workload "
+                    f"(allowed 5%)")
+            if show:
+                print(f"auto gate: {len(disagreements)} disagreement(s), "
+                      f"max penalty {penalty:+.2%}")
         report["overhead_gate"] = gate_report
     if check:
         from ..monitor import metrics_path, self_check, write_metrics

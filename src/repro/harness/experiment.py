@@ -17,7 +17,8 @@ from dataclasses import dataclass, field, replace
 from ..energy import DEFAULT_ENERGY_MODEL
 from ..evc import EvcMesh, EvcRouting
 from ..instrument import run_manifest
-from ..network.backend import resolve_backend
+from ..network.backend import (BackendUnsupportedError, choose_backend,
+                               resolve_backend)
 from ..network.config import NetworkConfig, PseudoCircuitConfig
 from ..network.simulator import Network
 from ..topology import make_topology
@@ -51,8 +52,13 @@ class ExperimentConfig:
     synth_warmup: int = 300
     mshrs: int = 4   # NIC self-throttling during trace replay
     seed: int = 1
-    # Network core: "scalar" or "vectorized"; None picks up the process
-    # default (repro.network.backend.set_default_backend).
+    # Network core: "scalar", "vectorized", "batched" or "auto"; None
+    # picks up the process default
+    # (repro.network.backend.set_default_backend). "auto" and "batched"
+    # are kept as-is in store keys (a point's identity includes the
+    # *policy* it ran under); build_network resolves them to a concrete
+    # core per point, and the scheduler groups compatible
+    # batched/auto points into BatchNetwork lanes.
     backend: str | None = None
 
     def __post_init__(self):
@@ -107,7 +113,15 @@ class Result:
                      manifest: dict | None = None,
                      monitor_report: dict | None = None) -> "Result":
         """Extract the paper's metrics from a finished simulation."""
-        stats = net.stats
+        return cls.from_stats(config, net.stats, manifest=manifest,
+                              monitor_report=monitor_report)
+
+    @classmethod
+    def from_stats(cls, config: ExperimentConfig, stats,
+                   manifest: dict | None = None,
+                   monitor_report: dict | None = None) -> "Result":
+        """Extract the paper's metrics from a finished NetworkStats
+        (the per-lane extraction path of batched runs)."""
         energy = DEFAULT_ENERGY_MODEL.router_energy(stats)
         return cls(
             config=config,
@@ -158,19 +172,18 @@ def build_network(config: ExperimentConfig, probe=None) -> Network:
 
     ``config.backend`` picks the core: the scalar object-per-router
     ``Network`` or the numpy ``VectorNetwork`` (bit-identical stats; see
-    ARCHITECTURE.md "Backends"). Configurations the vectorized core does
-    not support raise ``BackendUnsupportedError`` rather than silently
-    falling back.
+    ARCHITECTURE.md "Backends"). ``"batched"`` runs single points on
+    the vectorized core (lane grouping happens in the scheduler, not
+    here); ``"auto"`` picks per point via ``choose_backend`` and — as
+    its documented policy, not a silent fallback — takes the scalar
+    core wherever the vectorized core refuses the configuration. For
+    the explicit vectorized/batched backends unsupported configurations
+    still raise ``BackendUnsupportedError``.
     """
     net_cfg = NetworkConfig(
         num_vcs=config.num_vcs, buffer_depth=config.buffer_depth,
         pseudo=config.scheme,
         mshrs=config.mshrs if config.benchmark is not None else 0)
-    if resolve_backend(config.backend) == "vectorized":
-        from ..network.vectorized import VectorNetwork
-        cls = VectorNetwork
-    else:
-        cls = Network
     if config.topology == "evc_mesh":
         topo = EvcMesh(config.kx, config.ky, config.concentration)
         routing = EvcRouting(topo)
@@ -178,9 +191,24 @@ def build_network(config: ExperimentConfig, probe=None) -> Network:
         topo = make_topology(config.topology, config.kx, config.ky,
                              config.concentration)
         routing = config.routing
-    return cls(topo, net_cfg, routing=routing,
-               vc_policy=config.vc_policy, seed=config.seed,
-               probe=probe)
+    kwargs = dict(routing=routing, vc_policy=config.vc_policy,
+                  seed=config.seed, probe=probe)
+    backend = resolve_backend(config.backend)
+    if backend == "auto":
+        backend = choose_backend(
+            terminals=topo.num_terminals,
+            rate=config.rate if config.benchmark is None else None,
+            pseudo=config.scheme.enabled)
+        if backend == "vectorized":
+            from ..network.vectorized import VectorNetwork
+            try:
+                return VectorNetwork(topo, net_cfg, **kwargs)
+            except BackendUnsupportedError:
+                return Network(topo, net_cfg, **kwargs)
+    if backend in ("vectorized", "batched"):
+        from ..network.vectorized import VectorNetwork
+        return VectorNetwork(topo, net_cfg, **kwargs)
+    return Network(topo, net_cfg, **kwargs)
 
 
 def run_experiment(config: ExperimentConfig, *, use_cache: bool = True,
@@ -233,6 +261,89 @@ def run_experiment(config: ExperimentConfig, *, use_cache: bool = True,
     if use_cache:
         cache_result(result)
     return result
+
+
+#: Config fields every lane of one batch must share (the chip shape the
+#: replicated layout is built from). pattern/rate/packet_size/seed and
+#: the cycle/warmup windows may vary per lane.
+BATCH_KEY_FIELDS = ("topology", "kx", "ky", "concentration", "routing",
+                    "vc_policy", "scheme", "num_vcs", "buffer_depth")
+
+
+def batch_key(config: ExperimentConfig):
+    """Grouping key for batched execution, or ``None`` if unbatchable.
+
+    Only synthetic-traffic points that opted into batching (backend
+    ``batched`` or ``auto``) are grouped; trace replay needs MSHR
+    self-throttling and per-trace state, and ``evc_mesh`` routing is
+    dynamic-only — both always run solo.
+    """
+    if config.benchmark is not None or config.topology == "evc_mesh":
+        return None
+    if resolve_backend(config.backend) not in ("batched", "auto"):
+        return None
+    return tuple(getattr(config, f) for f in BATCH_KEY_FIELDS)
+
+
+def run_batch_experiments(configs, *, use_cache: bool = True):
+    """Simulate compatible points as lanes of one ``BatchNetwork`` run.
+
+    All configs must share ``batch_key`` (same chip shape, scheme and
+    VC policy); pattern, rate, packet size, seed and the cycle/warmup
+    windows may vary per lane. Returns one ``Result`` per config, in
+    order, each bit-identical to ``run_experiment`` of the same point
+    (the batched-parity suite locks this in). Cached points are
+    returned from the memo/store without occupying a lane.
+    """
+    if not configs:
+        return []
+    keys = {batch_key(cfg) for cfg in configs}
+    if len(keys) != 1 or None in keys:
+        raise ValueError(
+            "configs are not batch-compatible (one shared batch_key "
+            "required)")
+    results: list[Result | None] = [None] * len(configs)
+    todo = []
+    for i, cfg in enumerate(configs):
+        hit = cached(cfg) if use_cache else None
+        if hit is not None:
+            results[i] = hit
+        else:
+            todo.append(i)
+    if not todo:
+        return results
+    first = configs[todo[0]]
+    net_cfg = NetworkConfig(num_vcs=first.num_vcs,
+                            buffer_depth=first.buffer_depth,
+                            pseudo=first.scheme, mshrs=0)
+    topo = make_topology(first.topology, first.kx, first.ky,
+                         first.concentration)
+    from ..network.vectorized import BatchNetwork
+    start = time.perf_counter()
+    net = BatchNetwork(topo, net_cfg, routing=first.routing,
+                       vc_policy=first.vc_policy,
+                       seeds=[configs[i].seed for i in todo])
+    traffics = [SyntheticTraffic(configs[i].pattern, topo.num_terminals,
+                                 configs[i].rate, configs[i].packet_size,
+                                 seed=configs[i].seed)
+                for i in todo]
+    net.run_batch(traffics,
+                  [configs[i].synth_cycles for i in todo],
+                  [configs[i].synth_warmup for i in todo])
+    net.drain(max_cycles=500_000)
+    net.check_invariants()
+    wall = time.perf_counter() - start
+    for lane, i in enumerate(todo):
+        cfg = configs[i]
+        manifest = run_manifest(cfg, seed=cfg.seed, cycles=net.cycle,
+                                wall_s=wall / len(todo),
+                                extra={"batch_lanes": len(todo)})
+        result = Result.from_stats(cfg, net.lane_stats(lane),
+                                   manifest=manifest)
+        if use_cache:
+            cache_result(result)
+        results[i] = result
+    return results
 
 
 def _replay(net: Network, trace: Trace) -> None:

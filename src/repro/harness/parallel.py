@@ -32,6 +32,15 @@ On top of that ordered merge the scheduler is built to *survive*
   process-wide default installed by
   ``experiment.set_default_store``), so a *new process* reruns nothing
   that is already known.
+* **Batched execution** — after the cache layers resolve, points that
+  share a ``batch_key`` (same chip shape, scheme and VC policy, with
+  backend ``batched`` or ``auto``) are grouped into units of up to
+  ``batch_size`` lanes and simulated as one ``BatchNetwork`` per unit
+  (``experiment.run_batch_experiments``), amortizing the vectorized
+  core's per-cycle dispatch cost across the lanes. Lanes stay
+  bit-identical to solo runs, store/journal entries stay per-point,
+  and a failing batch falls back to solo execution with the full
+  retry budget — batching is purely a throughput tier.
 
 Workers are forked (POSIX default), so they inherit the parent's trace
 and run caches; results travel back pickled and are folded into the
@@ -53,8 +62,8 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from ..instrument import run_manifest
 from ..store import (SweepJournal, payload_to_result, result_to_payload,
                      store_key)
-from .experiment import (ExperimentConfig, Result, cache_result, cached,
-                         run_experiment)
+from .experiment import (ExperimentConfig, Result, batch_key, cache_result,
+                         cached, run_batch_experiments, run_experiment)
 
 
 def derive_seed(sweep_seed: int, *coords) -> int:
@@ -139,21 +148,72 @@ def _run_point(cfg: ExperimentConfig, check: bool = False) -> Result:
         ) from exc
 
 
-def _run_chunk(configs: Sequence[ExperimentConfig],
-               check: bool = False) -> list:
-    """Worker entry point: simulate one chunk of configs, in order.
+def _group_units(todo: Sequence[tuple], batch_size: int) -> list[list]:
+    """Group todo points into execution units of at most ``batch_size``.
 
-    Failures do not abort the chunk: each element of the returned list
-    is either a ``Result`` or the ``SweepPointError`` that point raised
-    (both pickle-safe), so one bad point cannot discard its chunk-mates'
-    completed work.
+    Points whose ``batch_key`` matches (same chip shape, scheme, VC
+    policy — and a backend that opted into batching) land in one unit
+    and will run as lanes of a single ``BatchNetwork``; everything else
+    becomes a singleton unit. Units are ordered by their first point, so
+    with ``batch_size=1`` this degenerates to the plain per-point list
+    and the ordered result merge is unaffected either way.
     """
+    if batch_size <= 1:
+        return [[point] for point in todo]
+    units: list[list] = []
+    filling: dict = {}  # batch_key -> unit still below batch_size
+    for idx, cfg in todo:
+        key = batch_key(cfg)
+        if key is None:
+            units.append([(idx, cfg)])
+            continue
+        unit = filling.get(key)
+        if unit is None:
+            unit = filling[key] = []
+            units.append(unit)
+        unit.append((idx, cfg))
+        if len(unit) >= batch_size:
+            del filling[key]
+    return units
+
+
+def _run_unit(cfgs: Sequence[ExperimentConfig],
+              check: bool = False) -> list:
+    """Simulate one unit: a multi-point unit runs as one batched chip.
+
+    A failure of the *batch* (any lane's exception aborts the shared
+    chip) falls back to per-point simulation, which both isolates the
+    failing lane and completes its innocent unit-mates. Per-point
+    failures are returned as ``SweepPointError`` outcomes, never
+    raised, so one bad point cannot discard the unit's completed work.
+    """
+    if len(cfgs) > 1 and not check:
+        try:
+            # Cache layers were already consulted by ``collect_todo``;
+            # the parent's ``finish_point`` writes results through.
+            return list(run_batch_experiments(cfgs, use_cache=False))
+        except Exception:
+            pass  # rerun solo to isolate the failing lane
     outcomes = []
-    for cfg in configs:
+    for cfg in cfgs:
         try:
             outcomes.append(_run_point(cfg, check))
         except SweepPointError as err:
             outcomes.append(err)
+    return outcomes
+
+
+def _run_chunk(units: Sequence[Sequence[ExperimentConfig]],
+               check: bool = False) -> list:
+    """Worker entry point: simulate one chunk of units, in order.
+
+    Returns one outcome per *point* (units flattened in order): either
+    a ``Result`` or the ``SweepPointError`` that point raised (both
+    pickle-safe).
+    """
+    outcomes = []
+    for cfgs in units:
+        outcomes.extend(_run_unit(cfgs, check))
     return outcomes
 
 
@@ -262,16 +322,32 @@ class _Scheduler:
                                   attempt, history)
         raise rebuilt from (last.__cause__ or last)
 
-    def run_serial(self, todo) -> None:
-        """Execute points inline, in input order (the no-pool path)."""
-        for idx, cfg in todo:
-            self.finish_point(idx, self.attempt_with_retries(cfg))
+    def run_serial(self, units) -> None:
+        """Execute units inline, in input order (the no-pool path).
+
+        Multi-point units run as one batched chip first; if the batch
+        fails, every lane reruns solo through the normal retry path, so
+        batching never costs a point its retry budget.
+        """
+        for unit in units:
+            if len(unit) > 1:
+                try:
+                    lanes = run_batch_experiments(
+                        [cfg for _, cfg in unit], use_cache=False)
+                except Exception:
+                    lanes = None  # isolate the failing lane solo below
+                if lanes is not None:
+                    for (idx, _), result in zip(unit, lanes):
+                        self.finish_point(idx, result)
+                    continue
+            for idx, cfg in unit:
+                self.finish_point(idx, self.attempt_with_retries(cfg))
 
     # -- pooled execution --------------------------------------------------
 
-    def run_pooled(self, todo, max_workers: int,
+    def run_pooled(self, units, max_workers: int,
                    chunk_size: int | None) -> None:
-        """Dispatch chunks to a process pool; recover failures serially.
+        """Dispatch chunks of units to a process pool; recover serially.
 
         Chunk outcomes are journaled as they land (``as_completed``
         order), the final merge is input-ordered. Worker-raised
@@ -280,24 +356,39 @@ class _Scheduler:
         into an in-process retry pass with backoff; the first point (in
         input order) to exhaust its attempts raises.
         """
+        npoints = sum(len(unit) for unit in units)
         if chunk_size is None:
             # ~4 chunks per worker balances load without excessive
             # pickling.
-            chunk_size = max(1, len(todo) // (max_workers * 4))
-        chunks = [todo[lo:lo + chunk_size]
-                  for lo in range(0, len(todo), chunk_size)]
+            chunk_size = max(1, npoints // (max_workers * 4))
+        # Chunks close once they reach chunk_size points; units are
+        # never split across chunks (a batch must share one worker).
+        chunks: list[list] = []
+        cur: list = []
+        count = 0
+        for unit in units:
+            cur.append(unit)
+            count += len(unit)
+            if count >= chunk_size:
+                chunks.append(cur)
+                cur, count = [], 0
+        if cur:
+            chunks.append(cur)
         workers = min(max_workers, len(chunks))
         pool = ProcessPoolExecutor(max_workers=workers)
         recover: list[tuple] = []  # (idx, cfg, pool_error | None)
         try:
             future_chunks = {
-                pool.submit(_run_chunk, [cfg for _, cfg in chunk],
-                            self.check): chunk
+                pool.submit(_run_chunk,
+                            [[cfg for _, cfg in unit] for unit in chunk],
+                            self.check):
+                [point for unit in chunk for point in unit]
                 for chunk in chunks}
         except Exception:
             # Pool unusable from the start (e.g. fork failure): everything
             # runs inline.
-            recover = [(idx, cfg, None) for idx, cfg in todo]
+            recover = [(idx, cfg, None)
+                       for unit in units for idx, cfg in unit]
             future_chunks = {}
         pending = set(future_chunks)
         while pending:
@@ -346,7 +437,8 @@ def run_experiments(configs: Iterable[ExperimentConfig],
                     backoff_base: float = 0.5,
                     backoff_cap: float = 30.0,
                     timeout: float | None = None,
-                    sleep=time.sleep) -> list[Result]:
+                    sleep=time.sleep,
+                    batch_size: int = 16) -> list[Result]:
     """Run many experiment points, returning results in input order.
 
     Cached points are answered without simulating — from the in-process
@@ -368,11 +460,20 @@ def run_experiments(configs: Iterable[ExperimentConfig],
     ``SweepPointError`` carrying its attempt count and backoff history —
     with every other completed point already checkpointed.
 
+    Before dispatch, uncached points that share a ``batch_key`` (same
+    chip shape, scheme and VC policy, backend ``batched`` or ``auto``)
+    are grouped into units of up to ``batch_size`` lanes and simulated
+    as one ``BatchNetwork`` run each — the lanes amortize the
+    per-cycle array-dispatch cost while staying bit-identical to solo
+    runs. Store and journal keys are unchanged: one entry per point,
+    whichever way it ran. ``batch_size=1`` disables grouping.
+
     ``check=True`` attaches the full monitor suite to every point
     (strict mode: the first invariant violation surfaces as a
     ``SweepPointError`` naming the point). Checked runs bypass memo,
     store and journal entirely — a cached or replayed result would skip
-    the monitors.
+    the monitors — and are never batched, because the batched core
+    cannot attach per-point monitors.
     """
     configs = list(configs)
     journal = _open_journal(journal if not check else None, resume)
@@ -384,12 +485,13 @@ def run_experiments(configs: Iterable[ExperimentConfig],
         todo = scheduler.collect_todo()
         if not todo:
             return scheduler.results
+        units = _group_units(todo, 1 if check else batch_size)
         if max_workers is None:
             max_workers = default_workers()
-        if max_workers <= 1 or len(todo) == 1:
-            scheduler.run_serial(todo)
+        if max_workers <= 1 or len(units) == 1:
+            scheduler.run_serial(units)
         else:
-            scheduler.run_pooled(todo, max_workers, chunk_size)
+            scheduler.run_pooled(units, max_workers, chunk_size)
     finally:
         if journal is not None:
             journal.close()

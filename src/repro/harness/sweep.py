@@ -66,7 +66,7 @@ def _scheduler_kwargs(overrides: dict) -> dict:
     """Split the scheduler passthrough keywords out of sweep overrides."""
     scheduler = {}
     for name in ("journal", "resume", "retries", "backoff_base",
-                 "backoff_cap", "timeout", "sleep", "store"):
+                 "backoff_cap", "timeout", "sleep", "store", "batch_size"):
         if name in overrides:
             scheduler[name] = overrides.pop(name)
     return scheduler

@@ -1,26 +1,57 @@
 """Backend selection for the network core.
 
-Two interchangeable cores implement the same cycle-level contract (see
-ARCHITECTURE.md "Backends"): the scalar object-per-router core in
-``network/simulator.py`` and the vectorized structure-of-arrays core in
-``network/vectorized/``. Both produce bit-identical ``NetworkStats``
-fingerprints for every supported configuration; the parity suite under
-``tests/network/test_vectorized_parity.py`` locks this in.
+Three interchangeable cores implement the same cycle-level contract
+(see ARCHITECTURE.md "Backends"): the scalar object-per-router core in
+``network/simulator.py``, the vectorized structure-of-arrays core in
+``network/vectorized/``, and the batched multi-lane core in
+``network/vectorized/batch.py`` (several independent simulations
+stepped as one chip). All produce bit-identical ``NetworkStats``
+fingerprints for every supported configuration; the parity suites under
+``tests/network/test_vectorized_parity.py`` and
+``tests/network/test_batched_parity.py`` lock this in.
 
-The vectorized core needs numpy, which is an *optional* runtime
+``backend="auto"`` defers the choice to ``choose_backend``: points
+grouped into a batch take the batched core, single points take the
+vectorized core above a calibrated offered-load crossover (in flits per
+cycle per chip — whole-chip array ops amortize only with enough work in
+flight) and the scalar core below it. The crossover ships with a
+measured default and is re-measured by the ``repro bench``
+microcalibration probe, which records it into BENCH_core.json;
+``load_calibration`` installs a recorded block.
+
+The vectorized cores need numpy, which is an *optional* runtime
 dependency (``pip install repro[fast]``). ``require_numpy`` converts the
 bare ImportError into an actionable message; ``BackendUnsupportedError``
 marks configurations the vectorized core deliberately refuses (probes,
 non-tabulable routing, multidrop channels) so callers fall back to the
-scalar core explicitly instead of getting silently-different semantics.
+scalar core explicitly instead of getting silently-different semantics —
+``auto`` is the one sanctioned fallback path: its documented policy is
+to pick scalar wherever the vectorized core refuses.
 """
 
 from __future__ import annotations
 
-BACKENDS = ("scalar", "vectorized")
+BACKENDS = ("scalar", "vectorized", "batched", "auto")
+
+#: Backends that name a concrete simulation core ("auto" resolves to
+#: one of these per point; "batched" runs single points on the
+#: vectorized core and groups of points on the batched core).
+CONCRETE_BACKENDS = ("scalar", "vectorized", "batched")
 
 #: Process-wide default used when a config leaves ``backend`` unset.
 _default_backend = "scalar"
+
+#: Selector calibration: offered load (flits per cycle per chip,
+#: ``rate * terminals``) above which the vectorized core beats the
+#: scalar core, per scheme kind. Defaults measured on the canonical
+#: 8x8-mesh workloads; ``repro bench`` re-measures and records the
+#: block into BENCH_core.json.
+DEFAULT_CALIBRATION = {
+    "crossover_flits_per_cycle": {"baseline": 6.0, "pseudo": 8.0},
+    "source": "default",
+}
+
+_calibration = dict(DEFAULT_CALIBRATION)
 
 
 class BackendUnsupportedError(RuntimeError):
@@ -51,6 +82,76 @@ def set_default_backend(name: str) -> str:
 def default_backend() -> str:
     """The backend used when configs leave ``backend`` unset."""
     return _default_backend
+
+
+# -- the "auto" selector ------------------------------------------------------
+
+def calibration() -> dict:
+    """The selector calibration currently in effect (a copy)."""
+    cal = dict(_calibration)
+    cal["crossover_flits_per_cycle"] = dict(
+        _calibration["crossover_flits_per_cycle"])
+    return cal
+
+
+def set_calibration(cal: dict) -> dict:
+    """Install a measured selector calibration; returns the previous.
+
+    Missing keys keep their defaults, so a partial block (e.g. only the
+    baseline crossover) is fine.
+    """
+    global _calibration
+    previous = calibration()
+    merged = dict(DEFAULT_CALIBRATION)
+    cross = dict(DEFAULT_CALIBRATION["crossover_flits_per_cycle"])
+    merged.update(cal)
+    cross.update(cal.get("crossover_flits_per_cycle", {}))
+    merged["crossover_flits_per_cycle"] = cross
+    _calibration = merged
+    return previous
+
+
+def load_calibration(path) -> bool:
+    """Install the ``calibration`` block of a BENCH_core.json, if any.
+
+    Returns True when a block was found and installed; a missing or
+    unreadable file (or one without the block) leaves the calibration
+    untouched and returns False.
+    """
+    import json
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError):
+        return False
+    cal = doc.get("calibration")
+    if not isinstance(cal, dict):
+        return False
+    set_calibration(cal)
+    return True
+
+
+def choose_backend(*, terminals: int, rate: float | None,
+                   pseudo: bool = False, batch: int = 1) -> str:
+    """Pick a concrete core for one point (the ``auto`` policy).
+
+    The decision variable is offered load in flits per cycle per chip
+    (``rate * terminals``): whole-chip array ops amortize above the
+    calibrated crossover, python-object dispatch wins below it —
+    ``pseudo`` selects the slightly higher pseudo-circuit crossover
+    (the vectorized pseudo-circuit pipeline has more fixed per-cycle
+    stages). Points grouped into a ``batch`` of two or more always
+    take the batched core: lane batching amortizes the dispatch cost
+    whatever the load. ``rate=None`` (trace replay, offered load
+    unknown and self-throttled by MSHRs) picks scalar.
+    """
+    if batch > 1:
+        return "batched"
+    if rate is None or terminals <= 0:
+        return "scalar"
+    cross = _calibration["crossover_flits_per_cycle"]
+    threshold = cross["pseudo" if pseudo else "baseline"]
+    return "vectorized" if rate * terminals >= threshold else "scalar"
 
 
 def require_numpy():

@@ -327,11 +327,12 @@ class Network:
     def run(self, cycles: int, traffic=None) -> NetworkStats:
         """Run for ``cycles`` cycles, ticking ``traffic`` once per cycle.
 
-        In active-set mode quiescent stretches are fast-forwarded. With a
-        ``traffic`` object this is only done if it exposes
-        ``next_injection_cycle(cycle)`` (see ``TraceReplayTraffic``);
-        Bernoulli sources draw randomness every cycle and are never
-        skipped.
+        In active-set mode quiescent stretches are fast-forwarded. With
+        a ``traffic`` object this is only done if it exposes
+        ``next_injection_cycle(cycle)`` — trace replay
+        (``TraceReplayTraffic``) and Bernoulli sources
+        (``SyntheticTraffic``, which pre-draws outcomes in tick order
+        so skipping is bit-identical to stepping).
         """
         end = self.cycle + cycles
         fast = self._active

@@ -1,6 +1,7 @@
 """Vectorized structure-of-arrays network backend (requires numpy)."""
 
+from .batch import BatchNetwork
 from .core import VectorNetwork
 from .layout import Layout, build_layout
 
-__all__ = ["Layout", "VectorNetwork", "build_layout"]
+__all__ = ["BatchNetwork", "Layout", "VectorNetwork", "build_layout"]

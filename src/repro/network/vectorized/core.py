@@ -51,7 +51,7 @@ class VectorNetwork:
                  routing="xy", vc_policy="dynamic", seed: int = 1,
                  stats: NetworkStats | None = None,
                  active_set: bool = True, compiled_routing: bool = True,
-                 probe=None):
+                 probe=None, lanes: int = 1, lane_seeds=None):
         np = require_numpy()
         self._np = np
         if probe is not None:
@@ -97,11 +97,14 @@ class VectorNetwork:
         self.rng = random.Random(seed)
         self.cycle = 0
 
-        lay = build_layout(topology, config, self.compiled_routing)
+        lay = build_layout(topology, config, self.compiled_routing,
+                           lanes=lanes)
         self._lay = lay
         R, T, V, D = lay.R, lay.T, lay.V, lay.D
         Pi, Po = lay.Pi, lay.Po
         self._R, self._T, self._V, self._D = R, T, V, D
+        self._lanes = lanes
+        self._T_local = T // lanes
         self._Pi, self._Po = Pi, Po
         NIP, NIVC = lay.NIP, lay.NIVC
         NOP, NOVC = lay.NOP, lay.NOVC
@@ -178,8 +181,18 @@ class VectorNetwork:
         self._sending_count = 0
         # Per-terminal injection RNGs, drawn in the same order as
         # Network._build_nics so o1turn route choices match bit-for-bit.
-        self.nic_rngs = [random.Random(self.rng.getrandbits(32))
-                         for _ in range(T)]
+        # With lane_seeds each lane draws its block from its own seed,
+        # reproducing the solo network seeded the same way.
+        if lane_seeds is None:
+            self.nic_rngs = [random.Random(self.rng.getrandbits(32))
+                             for _ in range(T)]
+        else:
+            if len(lane_seeds) != lanes:
+                raise ValueError("lane_seeds must give one seed per lane")
+            self.nic_rngs = [
+                random.Random(lane_rng.getrandbits(32))
+                for lane_rng in (random.Random(s) for s in lane_seeds)
+                for _ in range(self._T_local)]
 
         # Bucketed event queues: cycle -> list of index-array batches.
         self._arr_bucket: dict[int, list] = {}
@@ -276,9 +289,18 @@ class VectorNetwork:
 
     # -- driving --------------------------------------------------------------
 
-    def inject(self, packet: Packet) -> None:
-        """Hand a packet to its source NIC (mirrors Nic.enqueue)."""
-        t = packet.src
+    def inject(self, packet: Packet, lane: int = 0) -> None:
+        """Hand a packet to its source NIC (mirrors Nic.enqueue).
+
+        ``packet.src``/``dst`` are lane-local terminal ids; ``lane``
+        selects the replicated block (always 0 on a solo network).
+        ``p_src`` stores the *global* terminal so the outstanding
+        scatter and per-lane ejection attribution need no extra map,
+        while ``p_dst``/``p_pair`` stay lane-local — routing tables and
+        the static VC designation hash are indexed by local dst, which
+        keeps every lane bit-identical to its solo run.
+        """
+        t = packet.src + lane * self._T_local
         q = self._queues[t]
         if 0 < self._iq <= len(q):
             raise RuntimeError(
@@ -288,9 +310,9 @@ class VectorNetwork:
         if pk >= self._pcap:
             self._grow_packets(pk + 1)
         self.p_obj.append(packet)
-        self.p_src[pk] = packet.src
+        self.p_src[pk] = t
         self.p_dst[pk] = packet.dst
-        self.p_pair[pk] = packet.src * self._T + packet.dst
+        self.p_pair[pk] = packet.src * self._T_local + packet.dst
         self.p_size[pk] = packet.size
         self.p_choice[pk] = packet.route_choice
         self.p_create[pk] = packet.create_cycle
@@ -408,6 +430,85 @@ class VectorNetwork:
             "the vectorized backend does not support instrumentation "
             "probes or monitors; use --backend scalar")
 
+    # -- stats attribution hooks ----------------------------------------------
+    # Every NetworkStats update flows through one of these methods so the
+    # batched subclass (vectorized/batch.py) can redirect each event to
+    # the lane it belongs to; the index arguments (ivc/port/opid spaces)
+    # carry the lane via integer division by the solo extent.
+
+    def _count_injection(self, t: int, size: int) -> None:
+        stats = self.stats
+        stats.injected_packets += 1
+        stats.injected_flits += size
+
+    def _count_ejections(self, c: int, tpk, sizes) -> None:
+        stats = self.stats
+        stats.ejected_packets += len(tpk)
+        stats.ejected_flits += int(sizes.sum())
+        if c >= stats.warmup_cycles:
+            lats = c - self.p_create[tpk]
+            stats.measured_packets += len(tpk)
+            stats.total_latency += int(lats.sum())
+            stats.total_network_latency += int(
+                (c - self.p_inject[tpk]).sum())
+            stats.total_hops += int(self.p_hops[tpk].sum())
+            hist = stats.latency_histogram
+            for lat in lats.tolist():
+                hist[lat] = hist.get(lat, 0) + 1
+
+    def _count_va(self, wivc) -> None:
+        self.stats.va_allocations += len(wivc)
+
+    def _count_va1(self, ip_: int) -> None:
+        self.stats.va_allocations += 1
+
+    def _count_traversals(self, via: str, popped: bool, ports, hports,
+                          e2e_rep, xbar_rep) -> None:
+        stats = self.stats
+        n = len(ports)
+        if via == "sa":
+            stats.sa_arbitrations += n
+        else:
+            stats.sa_bypass_flits += n
+            if via == "buf":
+                stats.buf_bypass_flits += n
+        stats.flit_hops += n
+        stats.xbar_flits += n
+        if popped:
+            stats.buffer_reads += n
+        stats.xbar_repeats += int(xbar_rep.sum())
+        if hports is not None:
+            stats.e2e_packets += len(hports)
+            stats.e2e_repeats += int(e2e_rep.sum())
+
+    def _count_traversal1(self, ip_: int, e2e_rep, xbar_rep) -> None:
+        stats = self.stats
+        if e2e_rep is not None:
+            stats.e2e_packets += 1
+            if e2e_rep:
+                stats.e2e_repeats += 1
+        stats.sa_bypass_flits += 1
+        stats.buf_bypass_flits += 1
+        stats.flit_hops += 1
+        stats.xbar_flits += 1
+        if xbar_rep:
+            stats.xbar_repeats += 1
+
+    def _count_terminations(self, pps, reason: Termination) -> None:
+        self.stats.pc_terminations[reason] += len(pps)
+
+    def _count_termination1(self, ip_: int, reason: Termination) -> None:
+        self.stats.pc_terminations[reason] += 1
+
+    def _count_established(self, g_port, refreshed) -> None:
+        self.stats.pc_established += len(g_port) - int(refreshed.sum())
+
+    def _count_restored(self, uo) -> None:
+        self.stats.pc_restored += len(uo)
+
+    def _count_buffer_writes(self, aivc) -> None:
+        self.stats.buffer_writes += len(aivc)
+
     def check_invariants(self) -> None:
         """Assert pseudo-circuit and credit invariants (tests only)."""
         np = self._np
@@ -432,7 +533,6 @@ class VectorNetwork:
     def _eject(self, c: int, terms, fids) -> None:
         """Process ejection arrivals due this cycle (Nic.tick_eject)."""
         np = self._np
-        stats = self.stats
         n = len(fids)
         self._ej_pending -= n
         # Free the reassembly buffer immediately; the credit lands at the
@@ -453,18 +553,7 @@ class VectorNetwork:
         if (rx[tidx] != sizes).any():
             raise RuntimeError(
                 "NIC: tail arrived before all flits of its packet")
-        stats.ejected_packets += len(tpk)
-        stats.ejected_flits += int(sizes.sum())
-        if c >= stats.warmup_cycles:
-            lats = c - self.p_create[tpk]
-            stats.measured_packets += len(tpk)
-            stats.total_latency += int(lats.sum())
-            stats.total_network_latency += int(
-                (c - self.p_inject[tpk]).sum())
-            stats.total_hops += int(self.p_hops[tpk].sum())
-            hist = stats.latency_histogram
-            for lat in lats.tolist():
-                hist[lat] = hist.get(lat, 0) + 1
+        self._count_ejections(c, tpk, sizes)
         np.subtract.at(self.outstanding, self.p_src[tpk], 1)
         objs = self.p_obj
         for k in tpk.tolist():
@@ -550,9 +639,7 @@ class VectorNetwork:
         self.cred_free[self._NOVC + t * self._V + vc] = False
         self.p_inject[pk] = c
         size = int(self.p_size[pk])
-        stats = self.stats
-        stats.injected_packets += 1
-        stats.injected_flits += size
+        self._count_injection(t, size)
         self.outstanding[t] += 1
         fid0 = self._nflits
         if fid0 + size > self._fcap:
@@ -811,7 +898,7 @@ class VectorNetwork:
                 self.vc_state[wivc] = 2
                 self.vc_out_vc[wivc] = wvc
                 self.vc_out_cred[wivc] = ci
-                self.stats.va_allocations += len(gidx)
+                self._count_va(wivc)
             return
         sop = opids.copy()
         sop.sort()
@@ -830,7 +917,7 @@ class VectorNetwork:
                 self.vc_state[wivc] = 2
                 self.vc_out_vc[wivc] = wvc
                 self.vc_out_cred[wivc] = ci
-                self.stats.va_allocations += len(widx)
+                self._count_va(wivc)
             return
         # Contended: visit ports in the scalar rotated service order
         # (ports rotate by cycle, VCs ascend) via one composite-key
@@ -864,7 +951,7 @@ class VectorNetwork:
             self.vc_state[wivc] = 2
             self.vc_out_vc[wivc] = wvc
             self.vc_out_cred[wivc] = ci
-            self.stats.va_allocations += int(ok.sum())
+            self._count_va(wivc)
 
     # -- pseudo-circuit candidates --------------------------------------------
 
@@ -1009,7 +1096,6 @@ class VectorNetwork:
         """
         np = self._np
         Pi, Po = self._Pi, self._Po
-        stats = self.stats
         n = len(g_port)
         g_local = g_port % Pi
         valid0 = self.pc_valid[g_port]
@@ -1028,14 +1114,14 @@ class VectorNetwork:
         inconf = valid0 & (out0 != g_outl) & (outmap[old_opid] >= ordv)
         oidx = (outconf).nonzero()[0]
         if len(oidx):
-            stats.pc_terminations[Termination.CONFLICT_OUTPUT] += (
-                len(oidx))
+            self._count_terminations(vp[oidx],
+                                     Termination.CONFLICT_OUTPUT)
             self.op_hist[g_opid[oidx]] = h0[oidx]
             self.pc_valid[vp[oidx]] = False
         iidx = (inconf).nonzero()[0]
         if len(iidx):
-            stats.pc_terminations[Termination.CONFLICT_INPUT] += (
-                len(iidx))
+            self._count_terminations(g_port[iidx],
+                                     Termination.CONFLICT_INPUT)
             io = old_opid[iidx]
             self.op_hist[io] = g_local[iidx]
             self.op_holder[io] = -1
@@ -1044,7 +1130,7 @@ class VectorNetwork:
         self.pc_out_port[g_port] = g_outl
         self.pc_valid[g_port] = True
         self.op_holder[g_opid] = g_local
-        stats.pc_established += n - int(refreshed.sum())
+        self._count_established(g_port, refreshed)
 
     # -- arrivals: buffer write or buffer bypass ------------------------------
 
@@ -1121,7 +1207,7 @@ class VectorNetwork:
         self.f_ready[fids] = c + 1
         np.add.at(self._r_buffered, aivc // (self._Pi * V), 1)
         self._buffered += n
-        self.stats.buffer_writes += n
+        self._count_buffer_writes(aivc)
 
     def _bypass_attempts(self, c: int, att, dests, vcs, fids,
                          claimed_ip, claimed_op):
@@ -1202,7 +1288,7 @@ class VectorNetwork:
                 self.vc_out_opid[wivc] = opid[win]
                 self.vc_out_vc[wivc] = picks[good]
                 self.vc_out_cred[wivc] = wci
-                self.stats.va_allocations += len(win)
+                self._count_va(wivc)
         lb = live[~heads[live]]
         if len(lb):
             nidx = (
@@ -1231,7 +1317,6 @@ class VectorNetwork:
             return False  # an earlier arrival buffered into this VC
         if self.ip_st[ip_] >= c or claimed_ip[ip_]:
             return False
-        stats = self.stats
         if self.f_head[fid_]:
             if self.vc_state[aivc] != 0:
                 raise ProtocolError(
@@ -1259,7 +1344,7 @@ class VectorNetwork:
             self.vc_out_opid[aivc] = opid
             self.vc_out_vc[aivc] = ovc
             self.vc_out_cred[aivc] = ci
-            stats.va_allocations += 1
+            self._count_va1(ip_)
         else:
             if self.vc_state[aivc] != 2:
                 raise ProtocolError(
@@ -1328,7 +1413,6 @@ class VectorNetwork:
         and no buffer read is charged."""
         np = self._np
         V, Pi = self._V, self._Pi
-        stats = self.stats
         n = len(ivcs)
         ports = ivcs // V
         popped = fids is None
@@ -1346,8 +1430,7 @@ class VectorNetwork:
         civ = self.vc_out_cred[ivcs]
         self.cred[civ] -= 1
         hidx = (self.f_head[fids]).nonzero()[0]
-        nh = len(hidx)
-        if nh:
+        if len(hidx):
             hpk = self.f_pkt[fids[hidx]]
             self.p_hops[hpk] += 1
             if via != "sa":
@@ -1356,22 +1439,14 @@ class VectorNetwork:
                     self.p_buf[hpk] += 1
             pair = self.p_pair[hpk]
             hports = ports[hidx]
-            stats.e2e_packets += nh
-            stats.e2e_repeats += int(
-                (self.ip_last_pair[hports] == pair).sum())
+            e2e_rep = self.ip_last_pair[hports] == pair
             self.ip_last_pair[hports] = pair
-        if via == "sa":
-            stats.sa_arbitrations += n
         else:
-            stats.sa_bypass_flits += n
-            if via == "buf":
-                stats.buf_bypass_flits += n
-        stats.flit_hops += n
-        stats.xbar_flits += n
-        if popped:
-            stats.buffer_reads += n
-        stats.xbar_repeats += int((self.ip_last_out[ports] == outl).sum())
+            hports = e2e_rep = None
+        xbar_rep = self.ip_last_out[ports] == outl
         self.ip_last_out[ports] = outl
+        self._count_traversals(via, popped, ports, hports, e2e_rep,
+                               xbar_rep)
         self.f_vc[fids] = self.vc_out_vc[ivcs]
         if isinstance(delayed, np.ndarray):
             # Mixed batch: each row's ST-busy stamp and arrival cycle
@@ -1418,7 +1493,6 @@ class VectorNetwork:
         fast path (matching register, matching holder)."""
         np = self._np
         V = self._V
-        stats = self.stats
         ip_ = aivc // V
         self._cred_bucket.setdefault(c + self._cd, []).append(
             np.array([int(self._lay.ip_upbase[ip_]) + aivc % V],
@@ -1433,17 +1507,13 @@ class VectorNetwork:
             self.p_sa[pk] += 1
             self.p_buf[pk] += 1
             pair = int(self.p_pair[pk])
-            stats.e2e_packets += 1
-            if self.ip_last_pair[ip_] == pair:
-                stats.e2e_repeats += 1
+            e2e_rep = bool(self.ip_last_pair[ip_] == pair)
             self.ip_last_pair[ip_] = pair
-        stats.sa_bypass_flits += 1
-        stats.buf_bypass_flits += 1
-        stats.flit_hops += 1
-        stats.xbar_flits += 1
-        if self.ip_last_out[ip_] == outl:
-            stats.xbar_repeats += 1
+        else:
+            e2e_rep = None
+        xbar_rep = bool(self.ip_last_out[ip_] == outl)
         self.ip_last_out[ip_] = outl
+        self._count_traversal1(ip_, e2e_rep, xbar_rep)
         self.ip_st[ip_] = c
         self.op_st[opid] = c
         ovc = int(self.vc_out_vc[aivc])
@@ -1478,7 +1548,7 @@ class VectorNetwork:
         if self.op_holder[opid] == local:
             self.op_holder[opid] = -1
         self.op_hist[opid] = local
-        self.stats.pc_terminations[reason] += 1
+        self._count_termination1(ip_, reason)
 
     def _terminate_batch(self, pps, reason: Termination) -> None:
         """Terminate a batch of valid circuits (callers guarantee the
@@ -1489,7 +1559,7 @@ class VectorNetwork:
         held = self.op_holder[opids] == local
         self.op_holder[opids[held]] = -1
         self.op_hist[opids] = local
-        self.stats.pc_terminations[reason] += len(pps)
+        self._count_terminations(pps, reason)
 
     def _pc_maintenance(self, c: int, work_r, wall: bool) -> None:
         """End-of-cycle upkeep: credit terminations on held outputs,
@@ -1557,4 +1627,4 @@ class VectorNetwork:
         if len(uo):
             self.pc_valid[chosen] = True
             self.op_holder[uo] = chosen % Pi
-            self.stats.pc_restored += len(uo)
+            self._count_restored(uo)

@@ -17,6 +17,14 @@ replenish, which makes the credit-return scatter a single ``add.at``.
 
 Only point-to-point channels are supported (one endpoint per channel);
 ``core.py`` rejects multidrop topologies before building a layout.
+
+``build_layout(..., lanes=S)`` replicates the solo layout ``S`` times
+into one flat "mega-chip": lane ``s`` occupies its own contiguous block
+of every id space (routers, terminals, ports, VCs, links, credits), so
+the occupancy-driven pipeline in ``core.py`` steps all lanes in a
+single pass of array ops with no per-lane masking — lanes never share
+an index, so no array op couples them. This is what the batched
+backend (``vectorized/batch.py``) runs S independent simulations on.
 """
 
 from __future__ import annotations
@@ -55,15 +63,23 @@ class Layout:
     inj_ipid: object    # [T] router input port fed by the NIC
     inj_link: object    # [T] link id of the injection channel
     ej_opid: object     # [T] router ejection output port
-    route_out: object   # [R, C, T] out_port gather table
+    route_out: object   # [R, C, T_local] out_port gather table
     route_lo: object    # [C] VC window per route choice
     route_hi: object    # [C]
     cred_init: object   # [NCRED] initial credit counts
+    lanes: int = 1      # replicated independent simulations
 
 
 def build_layout(topology: Topology, config: NetworkConfig,
-                 compiled) -> Layout:
-    """Flatten ``topology`` wiring + ``compiled`` routing into arrays."""
+                 compiled, lanes: int = 1) -> Layout:
+    """Flatten ``topology`` wiring + ``compiled`` routing into arrays.
+
+    With ``lanes > 1`` the solo layout is tiled into that many disjoint
+    index-shifted copies (see module docstring); every dimension field
+    except V/D/C/Pi/Po is the solo value times ``lanes``. ``route_out``
+    stays indexed by *local* destination terminal — packets keep their
+    lane-local src/dst so routing is bit-identical to a solo run.
+    """
     np = require_numpy()
     R = topology.num_routers
     T = topology.num_terminals
@@ -144,7 +160,7 @@ def build_layout(topology: Topology, config: NetworkConfig,
     cred_init[:NOVC] = np.repeat(op_depth, V)
     cred_init[NOVC:] = config.buffer_depth
 
-    return Layout(
+    lay = Layout(
         R=R, T=T, V=V, D=D, C=compiled.num_route_choices, Pi=Pi, Po=Po,
         NIP=NIP, NIVC=NIVC, NOP=NOP, NOVC=NOVC, NCRED=NCRED, nip=nip,
         op_valid=op_valid, op_latency=op_latency, op_link=op_link,
@@ -152,3 +168,57 @@ def build_layout(topology: Topology, config: NetworkConfig,
         ip_upbase=ip_upbase, inj_ipid=inj_ipid, inj_link=inj_link,
         ej_opid=ej_opid, route_out=route_out, route_lo=route_lo,
         route_hi=route_hi, cred_init=cred_init)
+    if lanes < 1:
+        raise ValueError(f"lanes must be >= 1, got {lanes}")
+    return _replicate(lay, lanes) if lanes > 1 else lay
+
+
+def _replicate(lay: Layout, lanes: int) -> Layout:
+    """Tile a solo layout into ``lanes`` disjoint index-shifted copies.
+
+    Every id-space reference shifts by the lane's offset in that space:
+    lane ``s`` owns routers ``[s*R, (s+1)*R)``, terminals
+    ``[s*T, (s+1)*T)``, links ``[s*nlinks, (s+1)*nlinks)`` (keeping the
+    per-lane ascending-link arrival sort order), router-side credits
+    ``[s*NOVC, (s+1)*NOVC)`` and NIC-side credits
+    ``[S*NOVC + s*T*V, ...)`` — the unified credit space keeps all
+    router rows first, mirroring the solo arrangement.
+    """
+    np = require_numpy()
+    S = lanes
+    T, V = lay.T, lay.V
+    NIP, NOP, NOVC = lay.NIP, lay.NOP, lay.NOVC
+    nlinks = int(lay.inj_link.max()) + 1 if T else 0
+    lane = np.arange(S, dtype=np.int64)
+
+    def shift(arr, stride):
+        tiled = np.tile(arr, S)
+        offs = np.repeat(lane * stride, len(arr))
+        return np.where(tiled >= 0, tiled + offs, tiled)
+
+    up = np.tile(lay.ip_upbase, S)
+    offs = np.repeat(lane, NIP)
+    ip_upbase = np.where(
+        up < 0, up,
+        np.where(up < NOVC, up + offs * NOVC,
+                 S * NOVC + offs * (T * V) + (up - NOVC)))
+    cred_init = np.concatenate([np.tile(lay.cred_init[:NOVC], S),
+                                np.tile(lay.cred_init[NOVC:], S)])
+    return Layout(
+        R=lay.R * S, T=T * S, V=V, D=lay.D, C=lay.C, Pi=lay.Pi,
+        Po=lay.Po, NIP=NIP * S, NIVC=lay.NIVC * S, NOP=NOP * S,
+        NOVC=NOVC * S, NCRED=lay.NCRED * S,
+        nip=np.tile(lay.nip, S),
+        op_valid=np.tile(lay.op_valid, S),
+        op_latency=np.tile(lay.op_latency, S),
+        op_link=shift(lay.op_link, nlinks),
+        op_dest=shift(lay.op_dest, NIP),
+        op_eject=np.tile(lay.op_eject, S),
+        op_term=shift(lay.op_term, T),
+        ip_upbase=ip_upbase,
+        inj_ipid=shift(lay.inj_ipid, NIP),
+        inj_link=shift(lay.inj_link, nlinks),
+        ej_opid=shift(lay.ej_opid, NOP),
+        route_out=np.tile(lay.route_out, (S, 1, 1)),
+        route_lo=lay.route_lo, route_hi=lay.route_hi,
+        cred_init=cred_init, lanes=S)

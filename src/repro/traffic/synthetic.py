@@ -40,18 +40,64 @@ class SyntheticTraffic:
         self.rng = random.Random(seed)
         self._dest_fn = destination_function(pattern, num_terminals)
         self.generated = 0
+        # Injections drawn ahead of the tick clock (cycle -> [(src,
+        # dst), ...], keys ascending). ``next_injection_cycle``
+        # pre-draws future cycles in the exact tick order (cycle-major,
+        # terminal-minor), so the injection sequence is bit-identical
+        # whether the driver ticks every cycle or fast-forwards over
+        # the empty ones.
+        self._drawn: dict[int, list] = {}
+        self._drawn_until = -1
 
-    def tick(self, network, cycle: int) -> None:
+    def _draw_cycle(self) -> None:
+        """Draw the Bernoulli outcomes of the next undrawn cycle."""
+        c = self._drawn_until + 1
         prob = self.rate / self.packet_size
         rng = self.rng
+        row = None
         for src in range(self.num_terminals):
             if rng.random() >= prob:
                 continue
             dst = self._dest_fn(src, rng)
             if dst is None or dst == src:
                 continue
+            if row is None:
+                row = self._drawn[c] = []
+            row.append((src, dst))
+        self._drawn_until = c
+
+    def tick(self, network, cycle: int) -> None:
+        while self._drawn_until < cycle:
+            self._draw_cycle()
+        row = self._drawn.pop(cycle, None)
+        if row is None:
+            return
+        for src, dst in row:
             network.inject(Packet(src, dst, self.packet_size, cycle))
-            self.generated += 1
+        self.generated += len(row)
+
+    def next_injection_cycle(self, cycle: int,
+                             lookahead: int = 4096) -> int | None:
+        """Earliest cycle >= the next pending injection, or ``None``.
+
+        Lets fast-forwarding drivers skip idle stretches at low load
+        instead of paying the full per-cycle pipeline for an empty
+        chip. The contract is one-sided: the returned cycle is never
+        *later* than the true next injection, but may be earlier (the
+        ``lookahead`` horizon caps how far ahead outcomes are drawn per
+        call; the driver simply asks again from there). ``None`` means
+        no injection will ever arrive (rate 0).
+        """
+        if self.rate == 0.0:
+            return None
+        while self._drawn_until < cycle:
+            self._draw_cycle()
+        limit = cycle + lookahead
+        while not self._drawn and self._drawn_until < limit:
+            self._draw_cycle()
+        if self._drawn:
+            return next(iter(self._drawn))
+        return self._drawn_until + 1
 
 
 def _bits_for(n: int) -> int:

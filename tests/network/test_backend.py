@@ -4,9 +4,11 @@ import pytest
 
 from repro.harness.experiment import (ExperimentConfig, build_network,
                                       run_experiment)
-from repro.network.backend import (BACKENDS, BackendUnsupportedError,
-                                   default_backend, resolve_backend,
-                                   set_default_backend)
+from repro.network.backend import (BACKENDS, CONCRETE_BACKENDS,
+                                   BackendUnsupportedError, calibration,
+                                   choose_backend, default_backend,
+                                   load_calibration, resolve_backend,
+                                   set_calibration, set_default_backend)
 from repro.network.simulator import Network
 
 
@@ -111,4 +113,96 @@ class TestRefusals:
         assert require_numpy() is numpy
 
     def test_backends_tuple_is_the_public_contract(self):
-        assert BACKENDS == ("scalar", "vectorized")
+        assert BACKENDS == ("scalar", "vectorized", "batched", "auto")
+        assert CONCRETE_BACKENDS == ("scalar", "vectorized", "batched")
+
+
+@pytest.fixture
+def default_calibration():
+    """Restore the selector calibration after the test."""
+    previous = calibration()
+    yield
+    set_calibration(previous)
+
+
+class TestAutoSelector:
+    def test_batch_always_picks_batched(self):
+        assert choose_backend(terminals=64, rate=0.01, batch=4) == "batched"
+        assert choose_backend(terminals=4, rate=None, batch=2) == "batched"
+
+    def test_trace_replay_picks_scalar(self):
+        assert choose_backend(terminals=64, rate=None) == "scalar"
+
+    def test_offered_load_crossover(self, default_calibration):
+        set_calibration({"crossover_flits_per_cycle": {"baseline": 6.0,
+                                                       "pseudo": 8.0}})
+        # 64 terminals: 0.05 offers 3.2 flits/cycle, 0.30 offers 19.2.
+        assert choose_backend(terminals=64, rate=0.05) == "scalar"
+        assert choose_backend(terminals=64, rate=0.30) == "vectorized"
+        # The pseudo crossover is higher: 0.11 straddles 6.0 and 8.0.
+        assert choose_backend(terminals=64, rate=0.11) == "vectorized"
+        assert choose_backend(terminals=64, rate=0.11,
+                              pseudo=True) == "scalar"
+
+    def test_set_calibration_merges_partial_blocks(self,
+                                                   default_calibration):
+        set_calibration({"crossover_flits_per_cycle": {"baseline": 2.0}})
+        cal = calibration()
+        assert cal["crossover_flits_per_cycle"]["baseline"] == 2.0
+        assert cal["crossover_flits_per_cycle"]["pseudo"] == 8.0
+
+    def test_load_calibration_from_bench_report(self, tmp_path,
+                                                default_calibration):
+        import json
+        path = tmp_path / "BENCH_core.json"
+        path.write_text(json.dumps({"calibration": {
+            "crossover_flits_per_cycle": {"baseline": 3.0, "pseudo": 4.0},
+            "source": "measured"}}))
+        assert load_calibration(path)
+        assert calibration()["crossover_flits_per_cycle"] == {
+            "baseline": 3.0, "pseudo": 4.0}
+        assert calibration()["source"] == "measured"
+
+    def test_load_calibration_tolerates_missing_block(self, tmp_path,
+                                                      default_calibration):
+        before = calibration()
+        assert not load_calibration(tmp_path / "absent.json")
+        path = tmp_path / "noblock.json"
+        path.write_text("{}")
+        assert not load_calibration(path)
+        assert calibration() == before
+
+
+class TestAutoDispatch:
+    def test_low_load_builds_scalar(self, default_calibration):
+        set_calibration({"crossover_flits_per_cycle": {"baseline": 6.0}})
+        cfg = ExperimentConfig(topology="mesh", kx=8, ky=8, concentration=1,
+                               routing="xy", pattern="uniform", rate=0.02,
+                               backend="auto")
+        assert type(build_network(cfg)) is Network
+
+    def test_high_load_builds_vectorized(self, default_calibration):
+        pytest.importorskip("numpy")
+        from repro.network.vectorized import VectorNetwork
+        set_calibration({"crossover_flits_per_cycle": {"baseline": 6.0}})
+        cfg = ExperimentConfig(topology="mesh", kx=8, ky=8, concentration=1,
+                               routing="xy", pattern="uniform", rate=0.30,
+                               backend="auto")
+        assert type(build_network(cfg)) is VectorNetwork
+
+    def test_refused_config_falls_back_to_scalar(self):
+        # MECS has multidrop channels the vectorized core refuses;
+        # auto's documented policy is to fall back to scalar there —
+        # the explicit backend (TestRefusals) still fails loudly.
+        pytest.importorskip("numpy")
+        cfg = ExperimentConfig(topology="mecs", kx=4, ky=4, concentration=4,
+                               routing="xy", pattern="uniform", rate=0.30,
+                               backend="auto")
+        assert type(build_network(cfg)) is Network
+
+    def test_auto_kept_in_store_key(self):
+        from repro.store import store_key
+        auto = ExperimentConfig(pattern="uniform", backend="auto")
+        assert auto.backend == "auto"
+        assert store_key(auto) != store_key(
+            ExperimentConfig(pattern="uniform", backend="scalar"))

@@ -97,3 +97,50 @@ class TestInjectionProcess:
             return [(p.src, p.dst) for p in net.packets]
         assert gen(9) == gen(9)
         assert gen(9) != gen(10)
+
+
+class TestInjectionLookahead:
+    """The fast-forward contract behind low-load cycle skipping."""
+
+    def _every_cycle(self, seed, cycles=400, rate=0.02):
+        traffic = SyntheticTraffic("uniform", 16, rate, 5, seed=seed)
+        net = FakeNetwork()
+        for c in range(cycles):
+            traffic.tick(net, c)
+        return [(p.create_cycle, p.src, p.dst) for p in net.packets]
+
+    def test_skipping_idle_cycles_is_bit_identical(self):
+        reference = self._every_cycle(3)
+        traffic = SyntheticTraffic("uniform", 16, 0.02, 5, seed=3)
+        net = FakeNetwork()
+        c = 0
+        while c < 400:
+            traffic.tick(net, c)
+            nxt = traffic.next_injection_cycle(c)
+            # One-sided contract: never later than the true next
+            # injection, so jumping straight there skips only cycles
+            # that inject nothing.
+            c = max(c + 1, nxt)
+        got = [(p.create_cycle, p.src, p.dst) for p in net.packets]
+        assert got == reference
+
+    def test_never_later_than_true_next_injection(self):
+        reference = self._every_cycle(5, cycles=600)
+        injection_cycles = sorted({c for c, _, _ in reference})
+        traffic = SyntheticTraffic("uniform", 16, 0.02, 5, seed=5)
+        net = FakeNetwork()
+        for c in range(600):
+            nxt = traffic.next_injection_cycle(c)
+            true_next = next((i for i in injection_cycles if i >= c), None)
+            if true_next is not None:
+                assert nxt <= true_next, (c, nxt, true_next)
+            traffic.tick(net, c)
+
+    def test_rate_zero_never_injects(self):
+        traffic = SyntheticTraffic("uniform", 16, 0.0, 5, seed=1)
+        assert traffic.next_injection_cycle(0) is None
+
+    def test_lookahead_horizon_bounds_each_call(self):
+        traffic = SyntheticTraffic("uniform", 16, 1e-9, 5, seed=1)
+        nxt = traffic.next_injection_cycle(0, lookahead=64)
+        assert nxt is not None and nxt <= 65
