@@ -139,12 +139,30 @@ def _experiment_config(args) -> ExperimentConfig:
                             synth_warmup=args.cycles // 4, **common)
 
 
+def _series_probe(args) -> TimeSeriesProbe:
+    """The time-series probe matching the requested backend.
+
+    Non-scalar backends get the array-native ``VectorSeriesProbe`` — it
+    produces the identical row schema, and binds to the scalar core too
+    (so an ``auto`` run that resolves to scalar still records).
+    """
+    if args.backend in ("vectorized", "batched", "auto"):
+        from .network.vectorized import VectorSeriesProbe
+        return VectorSeriesProbe(window=args.window)
+    return TimeSeriesProbe(window=args.window)
+
+
 def _cmd_run(args) -> int:
     cfg = _experiment_config(args)
     tracing = args.trace is not None or args.series is not None
     if tracing and args.scheme == "all":
         print("error: --trace/--series need a single --scheme",
               file=sys.stderr)
+        return 2
+    if args.trace is not None and args.backend in ("vectorized", "batched"):
+        print("error: --trace records per-flit events, which only the "
+              "scalar core emits; use --backend scalar (or drop --trace "
+              "and keep --series)", file=sys.stderr)
         return 2
     rows = []
     out_rows = []
@@ -154,11 +172,18 @@ def _cmd_run(args) -> int:
     for scheme in schemes:
         probe = tracer = series = None
         if tracing:
-            tracer = FlitTracer(max_events=args.max_events)
-            series = TimeSeriesProbe(window=args.window)
-            probe = CompositeProbe(tracer, series)
+            probes = []
+            if args.trace is not None:
+                tracer = FlitTracer(max_events=args.max_events)
+                probes.append(tracer)
+            if args.series is not None:
+                series = _series_probe(args)
+                probes.append(series)
+            probe = (probes[0] if len(probes) == 1
+                     else CompositeProbe(*probes))
         res = run_experiment(cfg.with_scheme(scheme), probe=probe,
-                             check=args.check)
+                             check=args.check,
+                             check_stride=args.check_stride)
         if tracer is not None and args.trace is not None:
             _write_trace(tracer, args.trace, res.manifest)
         if series is not None and args.series is not None:
@@ -192,7 +217,15 @@ def _report_checked(checked, out: str | None) -> None:
         watchdog = monitors.get("watchdog", {})
         print(f"monitors [{label}]: {doc['violation_count']} violations, "
               f"{len(monitors)} monitors, "
-              f"max stall {watchdog.get('max_stall_cycles', 0)} cycles")
+              f"max stall {watchdog.get('max_stall_cycles', 0)} cycles "
+              f"(backend {doc.get('backend', 'scalar')})")
+        profile = doc.get("phase_profile")
+        if profile:
+            fractions = profile["fractions"]
+            mix = "  ".join(f"{key} {fractions[key]:.0%}"
+                            for key in sorted(fractions))
+            print(f"phase profile [{label}]: {mix} over "
+                  f"{profile['stepped_cycles']} stepped cycles")
     if out is not None:
         doc = metrics_set(checked)
         store = default_store()
@@ -248,6 +281,7 @@ def _cmd_sweep(args) -> int:
     if args.batch_size is not None:
         overrides["batch_size"] = args.batch_size
     rows = fn(max_workers=args.workers, check=args.check,
+              check_stride=args.check_stride,
               journal=args.journal, resume=args.resume,
               retries=args.retries, backoff_base=args.backoff,
               timeout=args.timeout, **overrides)
@@ -367,8 +401,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--out", default=None,
                        help="also write rows + manifest to this JSON")
     run_p.add_argument("--check", action="store_true",
-                       help="attach the online invariant monitors; write "
-                            "a *.metrics.json doc next to --out")
+                       help="attach the online invariant monitors (scalar "
+                            "core: the full monitor suite; vectorized/"
+                            "batched cores: whole-array invariant sweeps); "
+                            "write a *.metrics.json doc next to --out")
+    run_p.add_argument("--check-stride", type=int, default=1, metavar="N",
+                       help="with --check on a vectorized/batched core: "
+                            "sweep the array invariants every N cycles "
+                            "instead of every cycle (default 1)")
     _add_store_arg(run_p)
 
     trace_p = sub.add_parser(
@@ -386,7 +426,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write rows + manifest to this JSON")
     sweep_p.add_argument("--check", action="store_true",
                          help="attach the online invariant monitors to "
-                              "every sweep point")
+                              "every sweep point (array sweeps on "
+                              "vectorized/batched points; checked points "
+                              "batch normally)")
+    sweep_p.add_argument("--check-stride", type=int, default=1,
+                         metavar="N",
+                         help="with --check on vectorized/batched points: "
+                              "sweep the array invariants every N cycles "
+                              "(default 1)")
     sweep_p.add_argument("--cycles", type=int, default=None,
                          help="cycles per sweep point (default 1000; "
                               "warmup is cycles/4)")

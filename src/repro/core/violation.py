@@ -3,7 +3,8 @@
 ``InvariantViolation`` is the one exception type every self-check in the
 stack raises: the credit counters in ``network.credits``, the online
 monitors in ``repro.monitor``, and the registry's strict mode. It carries
-the full location of the failure — (cycle, router, port, vc) plus the
+the full location of the failure — (cycle, router, port, vc, and, for
+batched runs, the lane) plus the
 expected/actual values — so a violation deep inside a 500k-cycle run names
 the exact state to inspect instead of a bare message.
 
@@ -15,10 +16,10 @@ would create an import cycle through the simulator.
 from __future__ import annotations
 
 
-def _rebuild(cls, rule, message, monitor, cycle, router, port, vc,
+def _rebuild(cls, rule, message, monitor, cycle, router, port, vc, lane,
              expected, actual):
     return cls(rule, message, monitor=monitor, cycle=cycle, router=router,
-               port=port, vc=vc, expected=expected, actual=actual)
+               port=port, vc=vc, lane=lane, expected=expected, actual=actual)
 
 
 class InvariantViolation(RuntimeError):
@@ -33,7 +34,8 @@ class InvariantViolation(RuntimeError):
     def __init__(self, rule: str, message: str = "", *,
                  monitor: str | None = None, cycle: int | None = None,
                  router: int | None = None, port: int | None = None,
-                 vc: int | None = None, expected=None, actual=None):
+                 vc: int | None = None, lane: int | None = None,
+                 expected=None, actual=None):
         super().__init__(message)
         self.rule = rule
         self.message = message
@@ -42,6 +44,7 @@ class InvariantViolation(RuntimeError):
         self.router = router
         self.port = port
         self.vc = vc
+        self.lane = lane
         self.expected = expected
         self.actual = actual
 
@@ -51,11 +54,11 @@ class InvariantViolation(RuntimeError):
         # survive the trip back from sweep worker processes.
         return (_rebuild, (type(self), self.rule, self.message,
                            self.monitor, self.cycle, self.router, self.port,
-                           self.vc, self.expected, self.actual))
+                           self.vc, self.lane, self.expected, self.actual))
 
     def _context(self) -> str:
         parts = []
-        for name in ("cycle", "router", "port", "vc"):
+        for name in ("cycle", "lane", "router", "port", "vc"):
             value = getattr(self, name)
             if value is not None:
                 parts.append(f"{name}={value}")
@@ -81,6 +84,7 @@ class InvariantViolation(RuntimeError):
             "router": self.router,
             "port": self.port,
             "vc": self.vc,
+            "lane": self.lane,
             "expected": self.expected,
             "actual": self.actual,
         }

@@ -72,7 +72,7 @@ import sys
 import time
 
 from ..instrument import git_sha, overhead_gate, run_manifest, write_manifest
-from ..instrument.overhead import timing_gate
+from ..instrument.overhead import timing_gate, vectorized_overhead_gate
 from ..store import SweepJournal
 from ..network.config import BASELINE, PSEUDO_SB, NetworkConfig
 from ..network.flit import Packet
@@ -475,6 +475,31 @@ def _vectorized_speedup(workloads: list[dict], weights: dict[str, int],
     return round(math.exp(log_sum / weight_sum), 3)
 
 
+def profile_vectorized(cycles: int = DEFAULT_CYCLES) -> dict:
+    """One profiled vectorized repeat of the saturation pseudo workload.
+
+    Returns the per-phase wall-time breakdown of the vectorized step
+    loop (``VectorNetwork.enable_profile``: BW / VA+SA / ST+credit /
+    PC maintenance / inject, plus stepped vs fast-forwarded cycles) —
+    a cheap always-on complement to ``--profile``'s cProfile dump,
+    recorded into the bench report so the phase mix is tracked over
+    time alongside the walls. Never timed: the profiled repeat is
+    separate from the rows the timing gate compares.
+    """
+    from ..network.vectorized import VectorNetwork
+    config = NetworkConfig(num_vcs=4, buffer_depth=4, pseudo=PSEUDO_SB)
+    topo = make_topology("mesh", 8, 8, 1)
+    schedule = _InjectionSchedule(0.30, cycles, topo.num_terminals)
+    net = VectorNetwork(topo, config, seed=_SEED)
+    net.enable_profile()
+    net.stats.warmup_cycles = cycles // 5
+    net.run(cycles, schedule.replay())
+    net.drain(max_cycles=500_000)
+    doc = net.profile()
+    doc["workload"] = "mesh8x8-uniform-sat-pseudo_sb"
+    return doc
+
+
 def profile_workloads(cycles: int = DEFAULT_CYCLES, top: int = 20) -> None:
     """Run one repeat of every canonical workload under cProfile and print
     the ``top`` cumulative-time entries."""
@@ -512,7 +537,12 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
     every workload on the vectorized core (scalar-parity asserted;
     per-row speedup columns, summary geomeans) plus the 16-point
     lane-batched sweep (``batched`` report section, every lane
-    fingerprint hard-asserted against its solo reference). With
+    fingerprint hard-asserted against its solo reference), records one
+    profiled vectorized repeat's per-phase wall breakdown as the
+    report's ``phase_profile`` block, and — under ``gate=True`` — runs
+    the vectorized overhead gate too (probes cold on a default-built
+    ``VectorNetwork``; stats bit-identical with ``VectorSeriesProbe``
+    plus the strict invariant checker attached). With
     ``gate=True``, ``min_backend_speedup`` sets a floor on the
     saturation speedup geomean and ``min_batched_speedup`` one on the
     batched-sweep speedup. ``backend="auto"`` additionally runs the
@@ -595,6 +625,15 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
                   f"  batched {batched_row['speedup_batched']}x")
     if bench_journal is not None:
         bench_journal.close()
+    phase_profile = None
+    if backend in _VEC_BACKENDS:
+        phase_profile = profile_vectorized(cycles)
+        if show:
+            fractions = phase_profile["fractions"]
+            mix = "  ".join(f"{key} {fractions[key]:.0%}"
+                            for key in ("bw", "va_sa", "st_credit", "pc",
+                                        "inject"))
+            print(f"{'vectorized phase profile':32s} {mix}")
     summary = {}
     if backend in _VEC_BACKENDS:
         summary["speedup_vectorized_sat"] = _vectorized_speedup(
@@ -659,11 +698,16 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
         report["calibration"] = calibration_block
     if batched_row is not None:
         report["batched"] = batched_row
+    if phase_profile is not None:
+        report["phase_profile"] = phase_profile
     if gate:
         # Scale-independent checks always run; the timing comparison only
         # applies against a previous report at the same cycle count and
         # timing methodology (walls across methodologies don't compare).
         gate_report = overhead_gate(cycles=min(cycles, 400), show=show)
+        if backend in _VEC_BACKENDS:
+            gate_report["vectorized_overhead"] = vectorized_overhead_gate(
+                cycles=min(cycles, 400), show=show)
         if (previous is not None
                 and previous["meta"]["cycles"] == cycles
                 and previous["meta"].get("methodology") == METHODOLOGY):

@@ -17,8 +17,8 @@ from dataclasses import dataclass, field, replace
 from ..energy import DEFAULT_ENERGY_MODEL
 from ..evc import EvcMesh, EvcRouting
 from ..instrument import run_manifest
-from ..network.backend import (BackendUnsupportedError, choose_backend,
-                               resolve_backend)
+from ..network.backend import (BackendUnsupportedError, backend_of,
+                               choose_backend, resolve_backend)
 from ..network.config import NetworkConfig, PseudoCircuitConfig
 from ..network.simulator import Network
 from ..topology import make_topology
@@ -211,16 +211,47 @@ def build_network(config: ExperimentConfig, probe=None) -> Network:
     return Network(topo, net_cfg, **kwargs)
 
 
+def _attach_monitors(net, probe, check_stride: int):
+    """Attach the ``--check`` suite to a freshly built network.
+
+    Scalar cores bind the monitor registry's composite probe (merged
+    with any user probe); vectorized/batched cores attach the
+    array-native ``VectorInvariantChecker`` and switch on the per-phase
+    profiler instead. Returns the registry whose ``finish``/``snapshot``
+    produce the run's metrics document.
+    """
+    if hasattr(net, "attach_checker"):
+        from ..monitor import MetricsRegistry
+        from ..network.vectorized import VectorInvariantChecker
+        if probe is not None:
+            net.bind_probe(probe)
+        checker = VectorInvariantChecker(strict=True, stride=check_stride)
+        net.attach_checker(checker)
+        net.enable_profile()
+        return MetricsRegistry([checker])
+    from ..instrument import CompositeProbe
+    from ..monitor import default_registry
+    registry = default_registry(strict=True)
+    monitor_probe = registry.probe()
+    net.bind_probe(monitor_probe if probe is None
+                   else CompositeProbe(probe, monitor_probe))
+    return registry
+
+
 def run_experiment(config: ExperimentConfig, *, use_cache: bool = True,
-                   probe=None, check: bool = False) -> Result:
+                   probe=None, check: bool = False,
+                   check_stride: int = 1) -> Result:
     """Simulate one configuration (memoized per process).
 
     ``probe`` attaches an instrumentation probe for this run; probed runs
     never read or populate the memo (the probe observes the simulation, so
     a cached result would silently skip it). ``check=True`` additionally
-    attaches the full monitor suite (``repro.monitor.default_registry``,
-    strict: the first invariant violation raises) and stores its metrics
-    document on ``Result.monitor_report``.
+    attaches invariant checking — the full scalar monitor suite
+    (``repro.monitor.default_registry``) on the scalar core, the
+    array-native ``VectorInvariantChecker`` sweeping every
+    ``check_stride`` cycles on the vectorized cores; both strict (the
+    first violation raises) — and stores the metrics document on
+    ``Result.monitor_report``.
     """
     if probe is not None or check:
         use_cache = False
@@ -229,15 +260,14 @@ def run_experiment(config: ExperimentConfig, *, use_cache: bool = True,
         if hit is not None:
             return hit
     registry = None
-    if check:
-        from ..instrument import CompositeProbe
-        from ..monitor import default_registry
-        registry = default_registry(strict=True)
-        monitor_probe = registry.probe()
-        probe = (monitor_probe if probe is None
-                 else CompositeProbe(probe, monitor_probe))
     start = time.perf_counter()
-    net = build_network(config, probe=probe)
+    if check:
+        # Built bare: monitors attach after construction so the vector
+        # cores can take the checker path instead of a probe refusal.
+        net = build_network(config)
+        registry = _attach_monitors(net, probe, check_stride)
+    else:
+        net = build_network(config, probe=probe)
     if config.benchmark is not None:
         trace = get_trace(config.benchmark, cycles=config.trace_cycles,
                           warmup=config.trace_warmup, seed=config.seed)
@@ -253,9 +283,12 @@ def run_experiment(config: ExperimentConfig, *, use_cache: bool = True,
     monitor_report = None
     if registry is not None:
         monitor_report = registry.finish(net)
+        profile = getattr(net, "profile", None)
+        if profile is not None and (prof_doc := profile()) is not None:
+            monitor_report["phase_profile"] = prof_doc
     wall = time.perf_counter() - start
     manifest = run_manifest(config, seed=config.seed, cycles=net.cycle,
-                            wall_s=wall)
+                            wall_s=wall, extra={"backend": backend_of(net)})
     result = Result.from_network(config, net, manifest=manifest,
                                  monitor_report=monitor_report)
     if use_cache:
@@ -285,7 +318,17 @@ def batch_key(config: ExperimentConfig):
     return tuple(getattr(config, f) for f in BATCH_KEY_FIELDS)
 
 
-def run_batch_experiments(configs, *, use_cache: bool = True):
+class _LaneStatsView:
+    """Stats/cycle shim so ``MetricsRegistry.snapshot`` can document one
+    lane of a batched run (the live network only has whole-chip stats)."""
+
+    def __init__(self, net, lane: int):
+        self.stats = net.lane_stats(lane)
+        self.cycle = net.cycle
+
+
+def run_batch_experiments(configs, *, use_cache: bool = True,
+                          check: bool = False, check_stride: int = 1):
     """Simulate compatible points as lanes of one ``BatchNetwork`` run.
 
     All configs must share ``batch_key`` (same chip shape, scheme and
@@ -294,9 +337,16 @@ def run_batch_experiments(configs, *, use_cache: bool = True):
     order, each bit-identical to ``run_experiment`` of the same point
     (the batched-parity suite locks this in). Cached points are
     returned from the memo/store without occupying a lane.
+
+    ``check=True`` attaches one ``VectorInvariantChecker`` to the shared
+    chip (whole-array sweeps every ``check_stride`` cycles cover every
+    lane at once; violations carry the offending lane index) and gives
+    each result a per-lane metrics document on ``monitor_report``.
     """
     if not configs:
         return []
+    if check:
+        use_cache = False
     keys = {batch_key(cfg) for cfg in configs}
     if len(keys) != 1 or None in keys:
         raise ValueError(
@@ -323,6 +373,9 @@ def run_batch_experiments(configs, *, use_cache: bool = True):
     net = BatchNetwork(topo, net_cfg, routing=first.routing,
                        vc_policy=first.vc_policy,
                        seeds=[configs[i].seed for i in todo])
+    registry = None
+    if check:
+        registry = _attach_monitors(net, None, check_stride)
     traffics = [SyntheticTraffic(configs[i].pattern, topo.num_terminals,
                                  configs[i].rate, configs[i].packet_size,
                                  seed=configs[i].seed)
@@ -332,14 +385,30 @@ def run_batch_experiments(configs, *, use_cache: bool = True):
                   [configs[i].synth_warmup for i in todo])
     net.drain(max_cycles=500_000)
     net.check_invariants()
+    prof_doc = None
+    if registry is not None:
+        for monitor in registry.monitors:
+            monitor.finish(net)
+        prof_doc = net.profile()
     wall = time.perf_counter() - start
     for lane, i in enumerate(todo):
         cfg = configs[i]
         manifest = run_manifest(cfg, seed=cfg.seed, cycles=net.cycle,
                                 wall_s=wall / len(todo),
-                                extra={"batch_lanes": len(todo)})
+                                extra={"batch_lanes": len(todo),
+                                       "backend": "batched",
+                                       "batch_lane": lane})
+        monitor_report = None
+        if registry is not None:
+            monitor_report = registry.snapshot(_LaneStatsView(net, lane),
+                                               backend="batched")
+            monitor_report["batch_lanes"] = len(todo)
+            monitor_report["batch_lane"] = lane
+            if prof_doc is not None:
+                monitor_report["phase_profile"] = prof_doc
         result = Result.from_stats(cfg, net.lane_stats(lane),
-                                   manifest=manifest)
+                                   manifest=manifest,
+                                   monitor_report=monitor_report)
         if use_cache:
             cache_result(result)
         results[i] = result

@@ -133,10 +133,11 @@ class SweepPointError(RuntimeError):
                                   self.attempts, self.backoff_s))
 
 
-def _run_point(cfg: ExperimentConfig, check: bool = False) -> Result:
+def _run_point(cfg: ExperimentConfig, check: bool = False,
+               check_stride: int = 1) -> Result:
     """Simulate one point, labelling any failure with the point's config."""
     try:
-        return run_experiment(cfg, check=check)
+        return run_experiment(cfg, check=check, check_stride=check_stride)
     except Exception as exc:
         try:
             manifest = run_manifest(cfg, seed=cfg.seed)
@@ -178,7 +179,7 @@ def _group_units(todo: Sequence[tuple], batch_size: int) -> list[list]:
 
 
 def _run_unit(cfgs: Sequence[ExperimentConfig],
-              check: bool = False) -> list:
+              check: bool = False, check_stride: int = 1) -> list:
     """Simulate one unit: a multi-point unit runs as one batched chip.
 
     A failure of the *batch* (any lane's exception aborts the shared
@@ -186,25 +187,29 @@ def _run_unit(cfgs: Sequence[ExperimentConfig],
     failing lane and completes its innocent unit-mates. Per-point
     failures are returned as ``SweepPointError`` outcomes, never
     raised, so one bad point cannot discard the unit's completed work.
+    Checked units stay batched: one ``VectorInvariantChecker`` sweeps
+    every lane of the shared chip at once.
     """
-    if len(cfgs) > 1 and not check:
+    if len(cfgs) > 1:
         try:
             # Cache layers were already consulted by ``collect_todo``;
             # the parent's ``finish_point`` writes results through.
-            return list(run_batch_experiments(cfgs, use_cache=False))
+            return list(run_batch_experiments(cfgs, use_cache=False,
+                                              check=check,
+                                              check_stride=check_stride))
         except Exception:
             pass  # rerun solo to isolate the failing lane
     outcomes = []
     for cfg in cfgs:
         try:
-            outcomes.append(_run_point(cfg, check))
+            outcomes.append(_run_point(cfg, check, check_stride))
         except SweepPointError as err:
             outcomes.append(err)
     return outcomes
 
 
 def _run_chunk(units: Sequence[Sequence[ExperimentConfig]],
-               check: bool = False) -> list:
+               check: bool = False, check_stride: int = 1) -> list:
     """Worker entry point: simulate one chunk of units, in order.
 
     Returns one outcome per *point* (units flattened in order): either
@@ -213,7 +218,7 @@ def _run_chunk(units: Sequence[Sequence[ExperimentConfig]],
     """
     outcomes = []
     for cfgs in units:
-        outcomes.extend(_run_unit(cfgs, check))
+        outcomes.extend(_run_unit(cfgs, check, check_stride))
     return outcomes
 
 
@@ -232,10 +237,12 @@ class _Scheduler:
     """One ``run_experiments`` invocation's mutable scheduling state."""
 
     def __init__(self, configs, *, check, store, journal, resume,
-                 max_attempts, backoff_base, backoff_cap, timeout, sleep):
+                 max_attempts, backoff_base, backoff_cap, timeout, sleep,
+                 check_stride=1):
         self.configs = configs
         self.results: list[Result | None] = [None] * len(configs)
         self.check = check
+        self.check_stride = check_stride
         self.store = store
         self.journal = journal
         self.resume = resume
@@ -313,7 +320,7 @@ class _Scheduler:
                 self.sleep(delay)
             attempt += 1
             try:
-                return _run_point(cfg, self.check)
+                return _run_point(cfg, self.check, self.check_stride)
             except SweepPointError as err:
                 last = err
         if attempt <= 1 and not history:
@@ -333,7 +340,8 @@ class _Scheduler:
             if len(unit) > 1:
                 try:
                     lanes = run_batch_experiments(
-                        [cfg for _, cfg in unit], use_cache=False)
+                        [cfg for _, cfg in unit], use_cache=False,
+                        check=self.check, check_stride=self.check_stride)
                 except Exception:
                     lanes = None  # isolate the failing lane solo below
                 if lanes is not None:
@@ -381,7 +389,7 @@ class _Scheduler:
             future_chunks = {
                 pool.submit(_run_chunk,
                             [[cfg for _, cfg in unit] for unit in chunk],
-                            self.check):
+                            self.check, self.check_stride):
                 [point for unit in chunk for point in unit]
                 for chunk in chunks}
         except Exception:
@@ -430,6 +438,7 @@ def run_experiments(configs: Iterable[ExperimentConfig],
                     max_workers: int | None = None,
                     chunk_size: int | None = None,
                     check: bool = False,
+                    check_stride: int = 1,
                     store=None,
                     journal=None,
                     resume: bool = False,
@@ -468,24 +477,28 @@ def run_experiments(configs: Iterable[ExperimentConfig],
     runs. Store and journal keys are unchanged: one entry per point,
     whichever way it ran. ``batch_size=1`` disables grouping.
 
-    ``check=True`` attaches the full monitor suite to every point
-    (strict mode: the first invariant violation surfaces as a
-    ``SweepPointError`` naming the point). Checked runs bypass memo,
-    store and journal entirely — a cached or replayed result would skip
-    the monitors — and are never batched, because the batched core
-    cannot attach per-point monitors.
+    ``check=True`` attaches invariant checking to every point (strict
+    mode: the first violation surfaces as a ``SweepPointError`` naming
+    the point): the full scalar monitor suite on the scalar core, the
+    array-native ``VectorInvariantChecker`` — sweeping every
+    ``check_stride`` cycles — on the vectorized and batched cores.
+    Checked runs bypass memo, store and journal entirely (a cached or
+    replayed result would skip the monitors) but batch normally: one
+    checker's whole-array sweeps cover every lane of a shared chip, and
+    violations carry the offending lane index.
     """
     configs = list(configs)
     journal = _open_journal(journal if not check else None, resume)
     scheduler = _Scheduler(
         configs, check=check, store=store, journal=journal, resume=resume,
         max_attempts=1 + max(0, retries), backoff_base=backoff_base,
-        backoff_cap=backoff_cap, timeout=timeout, sleep=sleep)
+        backoff_cap=backoff_cap, timeout=timeout, sleep=sleep,
+        check_stride=check_stride)
     try:
         todo = scheduler.collect_todo()
         if not todo:
             return scheduler.results
-        units = _group_units(todo, 1 if check else batch_size)
+        units = _group_units(todo, batch_size)
         if max_workers is None:
             max_workers = default_workers()
         if max_workers <= 1 or len(units) == 1:

@@ -66,7 +66,8 @@ def _scheduler_kwargs(overrides: dict) -> dict:
     """Split the scheduler passthrough keywords out of sweep overrides."""
     scheduler = {}
     for name in ("journal", "resume", "retries", "backoff_base",
-                 "backoff_cap", "timeout", "sleep", "store", "batch_size"):
+                 "backoff_cap", "timeout", "sleep", "store", "batch_size",
+                 "check_stride"):
         if name in overrides:
             scheduler[name] = overrides.pop(name)
     return scheduler

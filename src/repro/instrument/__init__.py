@@ -17,7 +17,8 @@ with a manifest: config dict + hash, git SHA, seed, python version and
 wall-clock, so any result file is reproducible from its sidecar alone.
 """
 
-from .overhead import GATE_THRESHOLD, identity_check, overhead_gate
+from .overhead import (GATE_THRESHOLD, identity_check, overhead_gate,
+                       vectorized_identity_check, vectorized_overhead_gate)
 from .probe import CompositeProbe, Probe
 from .provenance import (config_hash, git_sha, manifest_path, run_manifest,
                          write_manifest)
@@ -28,4 +29,5 @@ __all__ = [
     "Probe", "CompositeProbe", "FlitTracer", "TimeSeriesProbe",
     "run_manifest", "write_manifest", "manifest_path", "config_hash",
     "git_sha", "overhead_gate", "identity_check", "GATE_THRESHOLD",
+    "vectorized_overhead_gate", "vectorized_identity_check",
 ]

@@ -42,9 +42,27 @@ class OverheadGateError(AssertionError):
 
 
 def assert_probes_cold(network) -> None:
-    """Raise unless every component of ``network`` has its probe unset."""
-    if network.probe is not None:
+    """Raise unless every component of ``network`` has its probe unset.
+
+    Covers both cores: the scalar core checks every router/link/NIC
+    slot; the vectorized cores (no ``routers`` attribute) check that
+    the probe, invariant checker, hook tuple and phase profiler are all
+    cold — their emission sites are guarded by the hook tuple the same
+    way the scalar hot path is guarded by the probe slot.
+    """
+    if getattr(network, "probe", None) is not None:
         raise OverheadGateError("network carries a probe by default")
+    if not hasattr(network, "routers"):
+        for attr, what in (("_vprobe", "a vector probe"),
+                           ("_checker", "an invariant checker"),
+                           ("_prof", "a live phase profiler")):
+            if getattr(network, attr, None) is not None:
+                raise OverheadGateError(
+                    f"vectorized network carries {what} by default")
+        if getattr(network, "_vhooks", ()):
+            raise OverheadGateError(
+                "vectorized network has hook emission enabled by default")
+        return
     for router in network.routers:
         if router._probe is not None:
             raise OverheadGateError(
@@ -101,6 +119,73 @@ def identity_check(cycles: int = 400, rate: float = 0.30,
         "pc_terminations": dict(traced),
         "series_windows": len(series.samples),
     }
+
+
+def _run_vectorized(cycles: int, rate: float, seed: int, probe=None,
+                    check: bool = False):
+    """Drive the gate workload on the vectorized core; returns the net."""
+    from ..network.vectorized import VectorInvariantChecker, VectorNetwork
+    config = NetworkConfig(num_vcs=4, buffer_depth=4, pseudo=PSEUDO_SB)
+    topo = make_topology("mesh", 8, 8, 1)
+    net = VectorNetwork(topo, config, seed=seed)
+    if probe is not None:
+        net.bind_probe(probe)
+    if check:
+        net.attach_checker(VectorInvariantChecker(strict=True))
+        net.enable_profile()
+    traffic = SyntheticTraffic("uniform", topo.num_terminals, rate, 5,
+                               seed=seed)
+    net.stats.warmup_cycles = cycles // 5
+    net.run(cycles, traffic)
+    net.drain(max_cycles=500_000)
+    return net
+
+
+def vectorized_identity_check(cycles: int = 400, rate: float = 0.30,
+                              seed: int = 7) -> dict:
+    """Run the saturation workload on the vectorized core bare and fully
+    observed (``VectorSeriesProbe`` + strict ``VectorInvariantChecker`` +
+    phase profiler); raise unless the stats are bit-identical and the
+    checker swept clean."""
+    from ..network.vectorized import VectorSeriesProbe
+    bare = _run_vectorized(cycles, rate, seed).stats
+    series = VectorSeriesProbe(window=max(1, cycles // 16))
+    net = _run_vectorized(cycles, rate, seed, probe=series, check=True)
+    if bare.fingerprint() != net.stats.fingerprint():
+        diff = {k: (v, net.stats.fingerprint()[k])
+                for k, v in bare.fingerprint().items()
+                if net.stats.fingerprint()[k] != v}
+        raise OverheadGateError(
+            f"vectorized stats diverged with observability attached: "
+            f"{diff}")
+    checker = net._checker
+    if checker.violations:
+        raise OverheadGateError(
+            f"vectorized invariant checker flagged the gate workload: "
+            f"{checker.violations[0]}")
+    return {
+        "cycles": cycles,
+        "stats_identical": True,
+        "series_windows": len(series.samples),
+        "checker_sweeps": checker.sweeps,
+        "phase_profile": net.profile(),
+    }
+
+
+def vectorized_overhead_gate(cycles: int = 400, show: bool = True) -> dict:
+    """The structural + bit-identity gate for the vectorized core."""
+    config = NetworkConfig(num_vcs=4, buffer_depth=4, pseudo=PSEUDO_SB)
+    topo = make_topology("mesh", 8, 8, 1)
+    from ..network.vectorized import VectorNetwork
+    assert_probes_cold(VectorNetwork(topo, config))
+    report = vectorized_identity_check(cycles=cycles)
+    report["probes_cold"] = True
+    if show:
+        print(f"vectorized overhead gate: probes cold, stats "
+              f"bit-identical over {cycles} cycles "
+              f"({report['series_windows']} series windows, "
+              f"{report['checker_sweeps']} checker sweeps)")
+    return report
 
 
 def timing_gate(workloads: list[dict], previous: list[dict],

@@ -27,6 +27,7 @@ from .regression import (
     REPORT_SCHEMA,
     compare_docs,
     compare_files,
+    document_backend,
     flatten,
     render_report,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "compare_docs",
     "compare_files",
     "default_registry",
+    "document_backend",
     "flatten",
     "metrics_path",
     "metrics_set",

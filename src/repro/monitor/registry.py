@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 
 from ..instrument.probe import CompositeProbe
+from ..network.backend import backend_of
 from .base import Monitor
 from .conservation import ConservationMonitor
 from .credit import CreditMonitor
@@ -51,7 +52,13 @@ class MetricsRegistry:
             monitor.finish(network)
         return self.snapshot(network)
 
-    def snapshot(self, network) -> dict:
+    def snapshot(self, network, backend: str | None = None) -> dict:
+        """One JSON-ready document for the run ``network`` just finished.
+
+        ``backend`` overrides the concrete-core stamp — the per-lane
+        snapshot path of batched runs passes a stats shim that is not
+        the live network, so it names the core explicitly.
+        """
         stats = network.stats
         run = dict(stats.summary())
         run["pc_established"] = stats.pc_established
@@ -63,6 +70,8 @@ class MetricsRegistry:
         return {
             "schema": METRICS_SCHEMA,
             "cycle": network.cycle,
+            "backend": backend if backend is not None
+            else backend_of(network),
             "run": run,
             "monitors": {m.name: m.snapshot() for m in self.monitors},
             "violations": [v.to_dict() for v in violations],

@@ -143,14 +143,40 @@ def compare_docs(old: dict, new: dict,
     }
 
 
+def document_backend(doc: dict) -> str | None:
+    """The network backend a metrics/bench document was produced on.
+
+    Looks where each schema records it: top-level ``backend`` (metrics
+    documents), ``meta.backend`` (bench reports), or the per-run
+    ``backend`` entries of a metrics-set (``mixed(...)`` when the runs
+    disagree). ``None`` for documents predating the backend stamp.
+    """
+    backend = doc.get("backend")
+    if backend is None and isinstance(doc.get("meta"), dict):
+        backend = doc["meta"].get("backend")
+    if backend is None and isinstance(doc.get("runs"), list):
+        backends = {run.get("backend") for run in doc["runs"]
+                    if isinstance(run, dict)}
+        backends.discard(None)
+        if len(backends) == 1:
+            backend = backends.pop()
+        elif backends:
+            backend = "mixed(" + ",".join(sorted(backends)) + ")"
+    return backend if isinstance(backend, str) else None
+
+
 def compare_files(old_path: str, new_path: str,
                   overrides: dict[str, float] | None = None) -> dict:
     """Diff two JSON documents on disk into a regression report.
 
     Beyond ``compare_docs``, the report names both inputs in a
-    ``documents`` block — path plus content-addressed store key
-    (``repro.store.document_key``) — so the header identifies exactly
-    which stored results were compared.
+    ``documents`` block — path, content-addressed store key
+    (``repro.store.document_key``) and the backend that produced them —
+    so the header identifies exactly which stored results were
+    compared. When the two documents come from different backends the
+    report carries ``backend_mismatch`` and the rendered header warns:
+    stats are bit-identical across backends, but walls and speedups are
+    not apples-to-apples.
     """
     from ..store import document_key
     with open(old_path, encoding="utf-8") as fh:
@@ -158,10 +184,16 @@ def compare_files(old_path: str, new_path: str,
     with open(new_path, encoding="utf-8") as fh:
         new = json.load(fh)
     report = compare_docs(old, new, overrides)
+    old_backend = document_backend(old)
+    new_backend = document_backend(new)
     report["documents"] = {
-        "old": {"path": old_path, "store_key": document_key(old)},
-        "new": {"path": new_path, "store_key": document_key(new)},
+        "old": {"path": old_path, "store_key": document_key(old),
+                "backend": old_backend},
+        "new": {"path": new_path, "store_key": document_key(new),
+                "backend": new_backend},
     }
+    report["backend_mismatch"] = bool(
+        old_backend and new_backend and old_backend != new_backend)
     return report
 
 
@@ -172,8 +204,17 @@ def render_report(report: dict, show_ok: bool = False) -> str:
     if documents:
         for tag in ("old", "new"):
             doc = documents[tag]
+            backend = doc.get("backend")
+            trail = f" (backend {backend})" if backend else ""
             lines.append(f"{tag}: {doc['path']} "
-                         f"[store key {doc['store_key'][:16]}]")
+                         f"[store key {doc['store_key'][:16]}]{trail}")
+        if report.get("backend_mismatch"):
+            lines.append(
+                f"  warning: documents come from different backends "
+                f"({documents['old']['backend']} vs "
+                f"{documents['new']['backend']}); stats compare "
+                f"bit-identically, but wall/speedup deltas are not "
+                f"apples-to-apples")
     lines.append(f"compared {report['compared']} metrics: "
                  f"{report['ok']} ok, {report['improved']} improved, "
                  f"{report['regressed']} regressed")

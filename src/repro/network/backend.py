@@ -84,6 +84,21 @@ def default_backend() -> str:
     return _default_backend
 
 
+def backend_of(network) -> str:
+    """The concrete backend name of a live network object.
+
+    Duck-typed on the class name so this module stays import-light (no
+    numpy, no simulator imports); used to stamp provenance manifests
+    and metrics documents with the core that actually ran.
+    """
+    name = type(network).__name__
+    if name == "BatchNetwork":
+        return "batched"
+    if name == "VectorNetwork":
+        return "vectorized"
+    return "scalar"
+
+
 # -- the "auto" selector ------------------------------------------------------
 
 def calibration() -> dict:
@@ -116,16 +131,24 @@ def load_calibration(path) -> bool:
 
     Returns True when a block was found and installed; a missing or
     unreadable file (or one without the block) leaves the calibration
-    untouched and returns False.
+    untouched and returns False — with a one-line warning on stderr
+    naming the path and reason, so a typo'd path doesn't silently run
+    with the default crossovers.
     """
     import json
+    import sys
     try:
         with open(path, encoding="utf-8") as fh:
             doc = json.load(fh)
-    except (OSError, ValueError):
+    except (OSError, ValueError) as exc:
+        print(f"warning: backend calibration not loaded from {path}: "
+              f"{exc}; keeping default crossovers", file=sys.stderr)
         return False
     cal = doc.get("calibration")
     if not isinstance(cal, dict):
+        print(f"warning: backend calibration not loaded from {path}: "
+              f"no 'calibration' block; keeping default crossovers",
+              file=sys.stderr)
         return False
     set_calibration(cal)
     return True

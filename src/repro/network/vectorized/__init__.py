@@ -3,5 +3,8 @@
 from .batch import BatchNetwork
 from .core import VectorNetwork
 from .layout import Layout, build_layout
+from .obs import VectorHooks, VectorInvariantChecker, VectorSeriesProbe
 
-__all__ = ["BatchNetwork", "Layout", "VectorNetwork", "build_layout"]
+__all__ = ["BatchNetwork", "Layout", "VectorHooks",
+           "VectorInvariantChecker", "VectorNetwork",
+           "VectorSeriesProbe", "build_layout"]

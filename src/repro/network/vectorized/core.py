@@ -19,16 +19,23 @@ in one concatenation when their cycle comes. Arrival batches are
 stable-sorted by link id, reproducing the scalar phase-3 ascending
 link-id tick order exactly.
 
-Deliberately unsupported (raising ``BackendUnsupportedError``):
-instrumentation probes/monitors, non-tabulable routing algorithms,
-multidrop (MECS) channels, non-roundrobin arbiters, and VC policies
-other than dynamic/static — use the scalar backend for those.
+Observability is array-native (see ``vectorized/obs.py``): probes and
+monitors that implement the batched ``vector_hooks`` vocabulary
+(``VectorSeriesProbe``, ``VectorInvariantChecker``) attach through
+``bind_probe``/``attach_checker`` and receive whole index arrays at the
+emission sites below; ``enable_profile`` accumulates per-phase wall time
+inside the step loop. Deliberately unsupported (raising
+``BackendUnsupportedError``): per-flit event probes (``FlitTracer`` and
+other scalar-protocol instrumentation), non-tabulable routing
+algorithms, multidrop (MECS) channels, non-roundrobin arbiters, and VC
+policies other than dynamic/static — use the scalar backend for those.
 """
 
 from __future__ import annotations
 
 import math
 import random
+from time import perf_counter
 
 from ...core.pseudo_circuit import Termination
 from ...metrics.stats import NetworkStats
@@ -54,10 +61,6 @@ class VectorNetwork:
                  probe=None, lanes: int = 1, lane_seeds=None):
         np = require_numpy()
         self._np = np
-        if probe is not None:
-            raise BackendUnsupportedError(
-                "the vectorized backend does not support instrumentation "
-                "probes; use --backend scalar")
         if not compiled_routing:
             raise BackendUnsupportedError(
                 "the vectorized backend requires compiled routing tables "
@@ -259,6 +262,19 @@ class VectorNetwork:
         else:
             self._rr_tab = None
 
+        # Observability (see vectorized/obs.py): an optional window
+        # probe and/or invariant checker consume the batched hooks at
+        # the emission sites; ``_vhooks`` holds the attached consumers,
+        # so the cold path costs one truthiness test per site. The
+        # probe binds last — its hooks read the arrays built above.
+        self.probe = None
+        self._vprobe = None
+        self._checker = None
+        self._vhooks = ()
+        self._prof = None
+        if probe is not None:
+            self.bind_probe(probe)
+
     # -- pools ----------------------------------------------------------------
 
     def _grow_flits(self, need: int) -> None:
@@ -327,6 +343,13 @@ class VectorNetwork:
         """Advance the whole network by one cycle."""
         np = self._np
         c = self.cycle
+        hooks = self._vhooks
+        if hooks:
+            for h in hooks:
+                h.on_cycle_start(c, self)
+        prof = self._prof
+        if prof is not None:
+            t0 = perf_counter()
         batch = self._cred_bucket.pop(c, None)
         if batch is not None:
             idx = batch[0] if len(batch) == 1 else np.concatenate(batch)
@@ -353,10 +376,21 @@ class VectorNetwork:
                 dests = dests[order]
                 fids = fids[order]
             arrivals = (dests, fids)
+        if prof is not None:
+            prof["st_credit"] += perf_counter() - t0
+            prof["stepped_cycles"] += 1
         if self._buffered or arrivals is not None:
             self._step_routers(c, arrivals)
         if self._num_queued or self._sending_count:
-            self._tick_inject(c)
+            if prof is not None:
+                t0 = perf_counter()
+                self._tick_inject(c)
+                prof["inject"] += perf_counter() - t0
+            else:
+                self._tick_inject(c)
+        if hooks:
+            for h in hooks:
+                h.vec_cycle_end(c, self)
         self.cycle = c + 1
 
     def _next_event_cycle(self) -> float:
@@ -378,6 +412,8 @@ class VectorNetwork:
             nxt = traffic_next
         target = bound if nxt == math.inf else min(bound, int(nxt))
         if target > self.cycle:
+            if self._prof is not None:
+                self._prof["ff_cycles"] += target - self.cycle
             self.cycle = target
 
     def fast_forward(self, bound: int,
@@ -426,9 +462,69 @@ class VectorNetwork:
         return stats.injected_packets == stats.ejected_packets
 
     def bind_probe(self, probe) -> None:
-        raise BackendUnsupportedError(
-            "the vectorized backend does not support instrumentation "
-            "probes or monitors; use --backend scalar")
+        """Attach a vector-aware probe (``vector_hooks`` protocol).
+
+        Probes that need the scalar per-event stream (``FlitTracer``,
+        the plain ``TimeSeriesProbe``) are refused loudly: replaying
+        per-flit events from array batches would serialize the core.
+        """
+        if not getattr(probe, "vector_hooks", False):
+            raise BackendUnsupportedError(
+                f"the vectorized backend cannot drive "
+                f"{type(probe).__name__}: per-flit event instrumentation "
+                f"(e.g. Chrome tracing) needs the scalar core — use "
+                f"--backend scalar, or a vector-aware probe such as "
+                f"VectorSeriesProbe")
+        probe.bind(self)
+        self.probe = probe
+        self._vprobe = probe
+        self._rebuild_hooks()
+
+    def attach_checker(self, checker) -> None:
+        """Attach a vector-aware invariant checker (``--check``)."""
+        checker.bind(self)
+        self._checker = checker
+        self._rebuild_hooks()
+
+    def _rebuild_hooks(self) -> None:
+        self._vhooks = tuple(h for h in (self._vprobe, self._checker)
+                             if h is not None)
+
+    def enable_profile(self) -> dict:
+        """Switch on the per-phase wall-time profiler (see ``profile``)."""
+        if self._prof is None:
+            self._prof = {"bw": 0.0, "va_sa": 0.0, "st_credit": 0.0,
+                          "pc": 0.0, "inject": 0.0,
+                          "stepped_cycles": 0, "ff_cycles": 0}
+        return self._prof
+
+    def profile(self) -> dict | None:
+        """JSON-ready per-phase profile since ``enable_profile``.
+
+        Phase attribution follows the step loop's block structure:
+        ``bw`` is arrival processing (buffer writes and bypass
+        attempts), ``va_sa`` covers VC allocation, SA request
+        collection and switch allocation (including the ST of granted
+        flits), ``st_credit`` covers the bucket drains (credit returns,
+        ejections, arrival assembly) plus circuit-reuse traversals,
+        ``pc`` covers pseudo-circuit candidate scan and maintenance,
+        and ``inject`` is the NIC send phase. ``ff_cycles`` counts
+        cycles skipped by quiescence fast-forward (zero wall time).
+        """
+        prof = self._prof
+        if prof is None:
+            return None
+        phases = {k: prof[k]
+                  for k in ("bw", "va_sa", "st_credit", "pc", "inject")}
+        total = sum(phases.values())
+        return {
+            "phases": {k: round(v, 6) for k, v in phases.items()},
+            "fractions": {k: round(v / total, 4) if total else 0.0
+                          for k, v in phases.items()},
+            "total_seconds": round(total, 6),
+            "stepped_cycles": prof["stepped_cycles"],
+            "ff_cycles": prof["ff_cycles"],
+        }
 
     # -- stats attribution hooks ----------------------------------------------
     # Every NetworkStats update flows through one of these methods so the
@@ -555,6 +651,10 @@ class VectorNetwork:
                 "NIC: tail arrived before all flits of its packet")
         self._count_ejections(c, tpk, sizes)
         np.subtract.at(self.outstanding, self.p_src[tpk], 1)
+        hooks = self._vhooks
+        if hooks:
+            for h in hooks:
+                h.vec_ejects(c, terms[tidx])
         objs = self.p_obj
         for k in tpk.tolist():
             pkt = objs[k]
@@ -640,6 +740,10 @@ class VectorNetwork:
         self.p_inject[pk] = c
         size = int(self.p_size[pk])
         self._count_injection(t, size)
+        hooks = self._vhooks
+        if hooks:
+            for h in hooks:
+                h.vec_inject(c, t)
         self.outstanding[t] += 1
         fid0 = self._nflits
         if fid0 + size > self._fcap:
@@ -759,6 +863,9 @@ class VectorNetwork:
         """
         np = self._np
         Pi, Po, V = self._Pi, self._Po, self._V
+        prof = self._prof
+        if prof is not None:
+            t_mark = perf_counter()
         # Work set: routers with buffered flits or arrivals staged this
         # cycle (scalar step() early-returns for all others; maintenance
         # runs only for routers that entered step).
@@ -782,13 +889,25 @@ class VectorNetwork:
         else:
             occ_idx = fronts = None
             fready = None
+        if prof is not None:
+            t_now = perf_counter()
+            prof["va_sa"] += t_now - t_mark
+            t_mark = t_now
         pc_enabled = self._pc_enabled
         if pc_enabled:
             cand_ip, cand_ivc = self._pc_candidates(c, work_r, wall)
         else:
             cand_ip = cand_ivc = ()
+        if prof is not None:
+            t_now = perf_counter()
+            prof["pc"] += t_now - t_mark
+            t_mark = t_now
         order, claimed_ip, claimed_op = self._collect_requests(
             c, occ_idx, fronts, fready, cand_ivc)
+        if prof is not None:
+            t_now = perf_counter()
+            prof["va_sa"] += t_now - t_mark
+            t_mark = t_now
         # Bypass unblocked candidates; blocked ones join SA (ascending
         # input-port order, matching the scalar candidate dict). The
         # blocked decision is independent across candidates — they have
@@ -821,12 +940,26 @@ class VectorNetwork:
             if len(fidx):
                 self._traverse_batch(c, cand_ivc[fidx], "pc",
                                      in_busy[fidx])
+        if prof is not None:
+            t_now = perf_counter()
+            prof["st_credit"] += t_now - t_mark
+            t_mark = t_now
         if arrivals is not None:
             self._process_arrivals(c, arrivals, claimed_ip, claimed_op)
+        if prof is not None:
+            t_now = perf_counter()
+            prof["bw"] += t_now - t_mark
+            t_mark = t_now
         if len(order):
             self._allocate_switch(c, order)
+        if prof is not None:
+            t_now = perf_counter()
+            prof["va_sa"] += t_now - t_mark
+            t_mark = t_now
         if pc_enabled:
             self._pc_maintenance(c, work_r, wall)
+        if prof is not None:
+            prof["pc"] += perf_counter() - t_mark
 
     # -- VA stage -------------------------------------------------------------
 
@@ -1208,6 +1341,10 @@ class VectorNetwork:
         np.add.at(self._r_buffered, aivc // (self._Pi * V), 1)
         self._buffered += n
         self._count_buffer_writes(aivc)
+        hooks = self._vhooks
+        if hooks:
+            for h in hooks:
+                h.vec_buffer_writes(c, aivc)
 
     def _bypass_attempts(self, c: int, att, dests, vcs, fids,
                          claimed_ip, claimed_op):
@@ -1447,6 +1584,10 @@ class VectorNetwork:
         self.ip_last_out[ports] = outl
         self._count_traversals(via, popped, ports, hports, e2e_rep,
                                xbar_rep)
+        hooks = self._vhooks
+        if hooks:
+            for h in hooks:
+                h.vec_traversals(c, via, popped, ivcs)
         self.f_vc[fids] = self.vc_out_vc[ivcs]
         if isinstance(delayed, np.ndarray):
             # Mixed batch: each row's ST-busy stamp and arrival cycle
@@ -1514,6 +1655,10 @@ class VectorNetwork:
         xbar_rep = bool(self.ip_last_out[ip_] == outl)
         self.ip_last_out[ip_] = outl
         self._count_traversal1(ip_, e2e_rep, xbar_rep)
+        hooks = self._vhooks
+        if hooks:
+            for h in hooks:
+                h.vec_traversal1(c, aivc)
         self.ip_st[ip_] = c
         self.op_st[opid] = c
         ovc = int(self.vc_out_vc[aivc])

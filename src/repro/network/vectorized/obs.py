@@ -1,0 +1,409 @@
+"""Array-native observability for the vectorized backends.
+
+The scalar instrumentation layer (PR 3) is an event stream: every flit
+movement calls a probe method. Replaying that per-event protocol from the
+vectorized core would serialize exactly the loops the core exists to
+avoid, so the vectorized cores emit *batched* hooks instead — one call
+per array operation, carrying the index arrays the operation already
+computed. The hook vocabulary (``VectorHooks``) is deliberately tiny:
+
+========================  ==================================================
+``on_cycle_start``        shared with the scalar probe protocol (window
+                          probes close boundaries here, before any event)
+``vec_cycle_end``         the cycle's last event has been applied (the
+                          invariant checker sweeps here)
+``vec_inject``            one packet left its source queue (global terminal)
+``vec_ejects``            packets fully reassembled (global terminal array)
+``vec_buffer_writes``     flits written into input VC buffers (ivc array)
+``vec_traversals``        a crossbar traversal batch (ivc array; ``via`` and
+                          ``popped`` as in the scalar ``on_traverse``)
+``vec_traversal1``        one write-through buffer bypass (scalar ivc)
+========================  ==================================================
+
+Consumers implement the hooks as numpy reductions:
+
+* :class:`VectorSeriesProbe` — the ``TimeSeriesProbe`` row schema
+  (per-router occupancy + activity windows) computed with ``np.add.at``
+  scatters; rows are bit-identical to the scalar probe on the parity
+  workloads and feed the inherited CSV/JSON/heatmap exporters unchanged.
+  On a ``BatchNetwork``, :meth:`VectorSeriesProbe.lane_view` slices the
+  recorded samples into an ordinary per-lane ``TimeSeriesProbe``.
+* :class:`VectorInvariantChecker` — flit conservation, credit
+  conservation and pseudo-circuit legality as whole-array assertions,
+  swept every cycle (or every ``stride`` cycles); failures raise the same
+  structured :class:`~repro.core.violation.InvariantViolation` as the
+  scalar monitors, with batched-lane attribution.
+
+No module-level numpy import: numpy is an optional dependency and is
+taken from the bound network (``network._np``) at bind time.
+"""
+
+from __future__ import annotations
+
+from ...instrument.series import ACTIVITY_KEYS, TimeSeriesProbe
+from ...monitor.base import Monitor
+
+
+class VectorHooks:
+    """No-op implementations of the vectorized hook vocabulary.
+
+    ``vector_hooks`` is the capability flag ``VectorNetwork.bind_probe``
+    duck-types on: probes without it (per-flit tracers) are refused
+    loudly instead of silently observing nothing.
+    """
+
+    vector_hooks = True
+
+    def vec_cycle_end(self, cycle: int, network) -> None:
+        pass
+
+    def vec_inject(self, cycle: int, terminal: int) -> None:
+        pass
+
+    def vec_ejects(self, cycle: int, terminals) -> None:
+        pass
+
+    def vec_buffer_writes(self, cycle: int, aivc) -> None:
+        pass
+
+    def vec_traversals(self, cycle: int, via: str, popped: bool,
+                       ivcs) -> None:
+        pass
+
+    def vec_traversal1(self, cycle: int, aivc: int) -> None:
+        pass
+
+
+class _LaneShim:
+    """Minimal network stand-in behind a :meth:`lane_view` probe: the
+    exporters only touch ``topology`` (heatmap grid) and ``cycle``."""
+
+    def __init__(self, topology, cycle: int):
+        self.topology = topology
+        self.cycle = cycle
+
+
+class VectorSeriesProbe(VectorHooks, TimeSeriesProbe):
+    """``TimeSeriesProbe`` computed as windowed numpy reductions.
+
+    Binding to a scalar ``Network`` falls back to the inherited
+    per-event accumulation, so one probe instance serves every backend —
+    including the ``auto`` path that may resolve to scalar after a
+    ``BackendUnsupportedError`` fallback. Binding to a
+    ``VectorNetwork``/``BatchNetwork`` switches to array accumulators
+    driven by the ``vec_*`` hooks.
+
+    On a ``BatchNetwork`` the samples span every lane (router ids are
+    global, lane-major); windows share the one global clock. Use
+    :meth:`lane_view` for per-lane rows and heatmaps — the whole-batch
+    ``heatmap()`` is refused by the grid-shape check already.
+    """
+
+    def __init__(self, window: int = 64, capacity: int | None = 4096):
+        super().__init__(window=window, capacity=capacity)
+        self._vec = None  # numpy module when vector-bound, else None
+
+    def bind(self, network) -> None:
+        if hasattr(network, "routers"):  # scalar core: inherited path
+            self._vec = None
+            super().bind(network)
+            return
+        np = network._np
+        self._vec = np
+        self._network = network
+        lay = network._lay
+        self._num = lay.R
+        self._pv = network._Pi * network._V
+        self._inj_router = lay.inj_ipid // network._Pi
+        self._ej_router = lay.ej_opid // network._Po
+        self._acc = {key: np.zeros(lay.R, dtype=np.int64)
+                     for key in ACTIVITY_KEYS}
+        self._win_start = network.cycle
+        self._boundary = network.cycle + self.window
+
+    # -- vectorized accumulation ----------------------------------------------
+
+    def vec_inject(self, cycle, terminal):
+        self._acc["injected"][self._inj_router[terminal]] += 1
+
+    def vec_ejects(self, cycle, terminals):
+        self._vec.add.at(self._acc["ejected"],
+                         self._ej_router[terminals], 1)
+
+    def vec_buffer_writes(self, cycle, aivc):
+        self._vec.add.at(self._acc["buffer_writes"], aivc // self._pv, 1)
+
+    def vec_traversals(self, cycle, via, popped, ivcs):
+        np = self._vec
+        acc = self._acc
+        routers = ivcs // self._pv
+        np.add.at(acc["hops"], routers, 1)
+        if via != "sa":
+            np.add.at(acc["sa_bypass"], routers, 1)
+            if via == "buf":
+                np.add.at(acc["buf_bypass"], routers, 1)
+        if popped:
+            np.add.at(acc["buffer_reads"], routers, 1)
+
+    def vec_traversal1(self, cycle, aivc):
+        acc = self._acc
+        r = aivc // self._pv
+        acc["hops"][r] += 1
+        acc["sa_bypass"][r] += 1
+        acc["buf_bypass"][r] += 1
+
+    # -- window management ----------------------------------------------------
+
+    def _occupancy(self):
+        if self._vec is None:
+            return super()._occupancy()
+        return self._network._r_buffered.tolist()
+
+    def _close(self, end):
+        if self._vec is None:
+            return super()._close(end)
+        acc = self._acc
+        row = {"start": self._win_start, "end": end,
+               "occupancy": self._occupancy()}
+        for key in ACTIVITY_KEYS:
+            row[key] = acc[key].tolist()
+            acc[key].fill(0)
+        self.samples.append(row)
+        self._win_start = end
+        self._boundary = end + self.window
+
+    # -- per-lane views -------------------------------------------------------
+
+    def lane_view(self, lane: int) -> TimeSeriesProbe:
+        """An ordinary ``TimeSeriesProbe`` holding one lane's rows.
+
+        ``BatchNetwork`` router ids are lane-major, so lane ``k`` owns
+        the contiguous id block ``[k * solo, (k + 1) * solo)``; slicing
+        every recorded sample there yields rows identical to a solo run
+        of that lane, and the view's exporters (CSV/JSON/heatmap) work
+        unchanged against the batch's solo topology. Call
+        :meth:`flush` first so the open window is included. The final
+        window's ``end`` may exceed a solo run's (the shared chip drains
+        to its slowest lane; the extra cycles are idle for this lane, so
+        every count and occupancy column still matches solo exactly).
+        """
+        net = self._network
+        lanes = getattr(net, "lanes", None) or getattr(net, "_lanes", 1)
+        if not 0 <= lane < lanes:
+            raise ValueError(f"lane {lane} out of range (lanes={lanes})")
+        solo = self._num // lanes
+        view = TimeSeriesProbe(window=self.window, capacity=self.capacity)
+        view._num = solo
+        view._network = _LaneShim(net.topology, net.cycle)
+        lo, hi = lane * solo, (lane + 1) * solo
+        for sample in self.samples:
+            row = {"start": sample["start"], "end": sample["end"],
+                   "occupancy": sample["occupancy"][lo:hi]}
+            for key in ACTIVITY_KEYS:
+                row[key] = sample[key][lo:hi]
+            view.samples.append(row)
+        return view
+
+
+class VectorInvariantChecker(VectorHooks, Monitor):
+    """Whole-array invariant sweeps over the vectorized core's state.
+
+    Three invariant families, matching the scalar monitor suite:
+
+    * **conservation** — every VC's occupancy equals its shadow
+      writes − reads count, the per-router and whole-chip occupancy
+      caches agree with ``buf_len``;
+    * **credit** — every credit counter equals its limit minus the flits
+      buffered downstream, in flight toward it, and credit returns still
+      in the pipeline; counters stay within ``[0, limit]``;
+    * **pseudo-circuit** — valid circuits have pairwise-distinct
+      outputs and the output holder registers mirror them exactly.
+
+    A sweep runs at the bottom of every ``stride``-th stepped cycle
+    (``--check-stride``) and once more at :meth:`finish`. Violations
+    carry lane-local (router, port, vc) coordinates plus the ``lane``
+    index on batched networks.
+    """
+
+    name = "vector_invariants"
+
+    def __init__(self, strict: bool = True, stride: int = 1):
+        super().__init__(strict=strict)
+        if stride < 1:
+            raise ValueError("check stride must be >= 1 cycle")
+        self.stride = stride
+        self.sweeps = 0
+        self._tick = 0
+
+    def bind(self, network) -> None:
+        super().bind(network)
+        np = network._np
+        self._np = np
+        lay = network._lay
+        self._lay = lay
+        # Shadow flit-conservation counters; seeded from the live
+        # occupancy so attaching mid-run stays sound.
+        self._w = network.buf_len.copy()
+        self._r = np.zeros(lay.NIVC, dtype=np.int64)
+        # ivc -> the upstream credit index its buffered flits consumed
+        # (-1 for unwired ports, which can never hold flits).
+        ramp = np.arange(lay.NIVC, dtype=np.int64)
+        up = lay.ip_upbase[ramp // lay.V]
+        self._ivc_ci = np.where(up >= 0, up + ramp % lay.V, -1)
+
+    # -- shadow accumulation --------------------------------------------------
+
+    def vec_buffer_writes(self, cycle, aivc):
+        self._np.add.at(self._w, aivc, 1)
+
+    def vec_traversals(self, cycle, via, popped, ivcs):
+        if popped:
+            self._r[ivcs] += 1  # ivcs duplicate-free per traversal batch
+
+    def vec_cycle_end(self, cycle, network):
+        self._tick += 1
+        if self._tick >= self.stride:
+            self._tick = 0
+            self.sweep(cycle)
+
+    def finish(self, network) -> None:
+        self.sweep(network.cycle)
+
+    def snapshot(self) -> dict:
+        return {"violations": len(self.violations),
+                "sweeps": self.sweeps, "stride": self.stride}
+
+    # -- localization ---------------------------------------------------------
+
+    def _lane(self, lane: int):
+        return lane if self._network._lanes > 1 else None
+
+    def _loc_ivc(self, idx: int) -> dict:
+        net = self._network
+        lane, local = divmod(int(idx), self._lay.NIVC // net._lanes)
+        return {"lane": self._lane(lane),
+                "router": local // (net._Pi * net._V),
+                "port": (local // net._V) % net._Pi,
+                "vc": local % net._V}
+
+    def _loc_op(self, opid: int) -> dict:
+        net = self._network
+        lane, local = divmod(int(opid), self._lay.NOP // net._lanes)
+        return {"lane": self._lane(lane), "router": local // net._Po,
+                "port": local % net._Po}
+
+    def _loc_cred(self, ci: int) -> dict:
+        net, lay = self._network, self._lay
+        ci = int(ci)
+        if ci < lay.NOVC:
+            loc = self._loc_op(ci // net._V)
+            loc["vc"] = ci % net._V
+            return loc
+        # NIC injection side: locate via the terminal's injection port.
+        t = (ci - lay.NOVC) // net._V
+        lane = t // net._T_local
+        local = int(lay.inj_ipid[t]) % (lay.NIP // net._lanes)
+        return {"lane": self._lane(lane), "router": local // net._Pi,
+                "port": local % net._Pi, "vc": (ci - lay.NOVC) % net._V}
+
+    # -- the sweep ------------------------------------------------------------
+
+    def sweep(self, cycle: int) -> None:
+        """Run every whole-array check against the live state."""
+        self.sweeps += 1
+        self._check_conservation(cycle)
+        self._check_credit(cycle)
+        if self._network._pc_enabled:
+            self._check_pc(cycle)
+
+    def _check_conservation(self, cycle: int) -> None:
+        np = self._np
+        net = self._network
+        expect = self._w - self._r
+        if not np.array_equal(net.buf_len, expect):
+            i = int((net.buf_len != expect).nonzero()[0][0])
+            self.violation(
+                "conservation",
+                "VC occupancy diverged from shadow writes - reads",
+                cycle=cycle, expected=int(expect[i]),
+                actual=int(net.buf_len[i]), **self._loc_ivc(i))
+        per_router = net.buf_len.reshape(self._lay.R, -1).sum(axis=1)
+        if not np.array_equal(per_router, net._r_buffered):
+            r = int((per_router != net._r_buffered).nonzero()[0][0])
+            lane, local = divmod(r, self._lay.R // net._lanes)
+            self.violation(
+                "occupancy_sync",
+                "per-router buffered-flit cache out of sync with buf_len",
+                cycle=cycle, lane=self._lane(lane), router=local,
+                expected=int(per_router[r]),
+                actual=int(net._r_buffered[r]))
+        total = int(per_router.sum())
+        if total != net._buffered:
+            self.violation(
+                "occupancy_total",
+                "whole-chip buffered-flit count out of sync with buf_len",
+                cycle=cycle, expected=total, actual=int(net._buffered))
+
+    def _check_credit(self, cycle: int) -> None:
+        np = self._np
+        net, lay = self._network, self._lay
+        limit = lay.cred_init
+        if bool(((net.cred < 0) | (net.cred > limit)).any()):
+            bad = ((net.cred < 0) | (net.cred > limit)).nonzero()[0]
+            ci = int(bad[0])
+            self.violation(
+                "credit_range",
+                "credit counter outside [0, limit]",
+                cycle=cycle, expected=int(limit[ci]),
+                actual=int(net.cred[ci]), **self._loc_cred(ci))
+        expect = limit.copy()
+        occ = (net.buf_len > 0).nonzero()[0]
+        if len(occ):
+            ci = self._ivc_ci[occ]
+            wired = ci >= 0
+            np.subtract.at(expect, ci[wired], net.buf_len[occ[wired]])
+        for batches in net._arr_bucket.values():
+            for links, dests, fids in batches:
+                np.subtract.at(expect,
+                               lay.ip_upbase[dests] + net.f_vc[fids], 1)
+        for batches in net._ej_bucket.values():
+            for terms, fids in batches:
+                np.subtract.at(expect,
+                               lay.ej_opid[terms] * net._V
+                               + net.f_vc[fids], 1)
+        for batches in net._cred_bucket.values():
+            for idx in batches:
+                np.subtract.at(expect, idx, 1)
+        if not np.array_equal(net.cred, expect):
+            ci = int((net.cred != expect).nonzero()[0][0])
+            self.violation(
+                "credit_count",
+                "credit counter diverged from limit - buffered - "
+                "in-flight - returning",
+                cycle=cycle, expected=int(expect[ci]),
+                actual=int(net.cred[ci]), **self._loc_cred(ci))
+
+    def _check_pc(self, cycle: int) -> None:
+        np = self._np
+        net = self._network
+        valid = net.pc_valid.nonzero()[0]
+        outs = (valid // net._Pi) * net._Po + net.pc_out_port[valid]
+        if len(outs) > 1:
+            so = np.sort(outs)
+            dup = (so[1:] == so[:-1]).nonzero()[0]
+            if len(dup):
+                opid = int(so[int(dup[0])])
+                self.violation(
+                    "pc_output_shared",
+                    "two valid pseudo-circuits share one output port",
+                    cycle=cycle, **self._loc_op(opid))
+        expected = np.full(self._lay.NOP, -1, dtype=np.int64)
+        expected[outs] = valid % net._Pi
+        if not np.array_equal(expected, net.op_holder):
+            opid = int((expected != net.op_holder).nonzero()[0][0])
+            self.violation(
+                "pc_holder_sync",
+                "output holder register out of sync with circuit "
+                "registers",
+                cycle=cycle, expected=int(expected[opid]),
+                actual=int(net.op_holder[opid]), **self._loc_op(opid))

@@ -69,3 +69,59 @@ class TestRun:
         first = run_experiment(cfg)
         second = run_experiment(cfg)
         assert first is second
+
+
+class TestBackendObservability:
+    """Backend stamps, checked vectorized runs, per-lane attribution."""
+
+    BASE = dict(topology="mesh", kx=4, ky=4, concentration=1,
+                routing="xy", pattern="uniform", rate=0.15,
+                synth_cycles=200, seed=7)
+
+    def test_manifest_carries_resolved_backend(self):
+        res = run_experiment(ExperimentConfig(backend="scalar", **self.BASE),
+                             use_cache=False)
+        assert res.manifest["backend"] == "scalar"
+        pytest.importorskip("numpy")
+        res = run_experiment(
+            ExperimentConfig(backend="vectorized", **self.BASE),
+            use_cache=False)
+        assert res.manifest["backend"] == "vectorized"
+
+    def test_checked_vectorized_report(self):
+        pytest.importorskip("numpy")
+        res = run_experiment(
+            ExperimentConfig(backend="vectorized", **self.BASE),
+            check=True, check_stride=4)
+        doc = res.monitor_report
+        assert doc["backend"] == "vectorized"
+        assert doc["violation_count"] == 0
+        inv = doc["monitors"]["vector_invariants"]
+        assert inv["violations"] == 0 and inv["stride"] == 4
+        profile = doc["phase_profile"]
+        assert profile["stepped_cycles"] > 0
+        assert set(profile["phases"]) == {"bw", "va_sa", "st_credit",
+                                          "pc", "inject"}
+
+    def test_checked_scalar_has_no_phase_profile(self):
+        res = run_experiment(ExperimentConfig(backend="scalar", **self.BASE),
+                             check=True)
+        assert res.monitor_report["backend"] == "scalar"
+        assert "phase_profile" not in res.monitor_report
+
+    def test_checked_batch_stamps_lanes(self):
+        pytest.importorskip("numpy")
+        from repro.harness.experiment import run_batch_experiments
+        configs = [ExperimentConfig(backend="batched",
+                                    **{**self.BASE, "rate": rate})
+                   for rate in (0.05, 0.25)]
+        results = run_batch_experiments(configs, check=True, check_stride=2)
+        for lane, res in enumerate(results):
+            assert res.manifest["backend"] == "batched"
+            assert res.manifest["batch_lane"] == lane
+            assert res.manifest["batch_lanes"] == 2
+            doc = res.monitor_report
+            assert doc["backend"] == "batched"
+            assert doc["batch_lane"] == lane
+            assert doc["violation_count"] == 0
+            assert doc["phase_profile"]["stepped_cycles"] > 0

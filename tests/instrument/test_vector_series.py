@@ -1,0 +1,158 @@
+"""Series parity: ``VectorSeriesProbe`` rows equal the scalar probe's.
+
+The vectorized observability layer is only trustworthy if its windowed
+numpy reductions reproduce the scalar ``TimeSeriesProbe`` rows exactly —
+same window boundaries, same per-router occupancy snapshots, same
+activity counts — so every exporter (CSV, JSON, heatmap) downstream sees
+identical data whichever core ran. This suite pins that contract on the
+canonical bench workloads, checks the dual-bind path (one probe instance
+serves scalar and vector networks), per-lane batched views, and the
+zero-overhead gate (instrumented runs stay bit-identical to bare runs).
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.instrument import TimeSeriesProbe
+from repro.network.config import BASELINE, PSEUDO_SB, NetworkConfig
+from repro.network.simulator import Network
+from repro.network.vectorized import (BatchNetwork, VectorNetwork,
+                                      VectorSeriesProbe)
+from repro.topology import make_topology
+from repro.traffic.synthetic import SyntheticTraffic
+
+WINDOW = 32
+
+
+def _run(cls, scheme, rate, cycles, probe, *, topo_args=("mesh", 8, 8, 1),
+         pattern="uniform", seed=7, **net_kw):
+    topo = make_topology(*topo_args)
+    net = cls(topo, NetworkConfig(pseudo=scheme), routing="xy",
+              vc_policy="dynamic", seed=seed, **net_kw)
+    if probe is not None:
+        net.bind_probe(probe)
+    traffic = SyntheticTraffic(pattern, topo.num_terminals, rate, 5,
+                               seed=seed)
+    net.stats.warmup_cycles = cycles // 5
+    net.run(cycles, traffic)
+    net.drain(max_cycles=500_000)
+    net.check_invariants()
+    if probe is not None:
+        probe.flush()
+    return net
+
+
+class TestRowParity:
+    """Scalar probe vs vector probe on the canonical 8x8 workloads."""
+
+    @pytest.mark.parametrize("scheme,rate", [
+        (BASELINE, 0.02), (PSEUDO_SB, 0.02),
+        (BASELINE, 0.30), (PSEUDO_SB, 0.30),
+    ], ids=["low-baseline", "low-pseudo_sb",
+            "sat-baseline", "sat-pseudo_sb"])
+    def test_rows_and_heatmap_identical(self, scheme, rate):
+        scalar_probe = TimeSeriesProbe(window=WINDOW)
+        vector_probe = VectorSeriesProbe(window=WINDOW)
+        scalar = _run(Network, scheme, rate, 400, scalar_probe)
+        vector = _run(VectorNetwork, scheme, rate, 400, vector_probe)
+        assert vector_probe.samples == scalar_probe.samples
+        assert vector_probe.heatmap() == scalar_probe.heatmap()
+        # Instrumentation is read-only: stats stay bit-identical too.
+        assert scalar.stats.fingerprint() == vector.stats.fingerprint()
+
+    def test_dual_bind_scalar_fallback(self):
+        """One VectorSeriesProbe instance must serve the scalar core via
+        the inherited per-event path (the auto-backend fallback)."""
+        reference = TimeSeriesProbe(window=WINDOW)
+        dual = VectorSeriesProbe(window=WINDOW)
+        _run(Network, PSEUDO_SB, 0.20, 300, reference)
+        _run(Network, PSEUDO_SB, 0.20, 300, dual)
+        assert dual.samples == reference.samples
+        assert dual.heatmap() == reference.heatmap()
+
+
+class TestLaneView:
+    """Per-lane batched views match solo runs of the same point."""
+
+    LANES = ((0.05, 3), (0.30, 11))
+
+    def test_lane_rows_match_solo(self):
+        topo = make_topology("mesh", 4, 4, 1)
+        batch_probe = VectorSeriesProbe(window=WINDOW)
+        net = BatchNetwork(topo, NetworkConfig(pseudo=PSEUDO_SB),
+                           routing="xy", vc_policy="dynamic",
+                           seeds=[seed for _, seed in self.LANES])
+        net.bind_probe(batch_probe)
+        traffics = [SyntheticTraffic("uniform", topo.num_terminals, rate,
+                                     5, seed=seed)
+                    for rate, seed in self.LANES]
+        net.run_batch(traffics, [300] * len(self.LANES),
+                      warmups=[60] * len(self.LANES))
+        net.drain(max_cycles=500_000)
+        net.check_invariants()
+        batch_probe.flush()
+
+        for lane, (rate, seed) in enumerate(self.LANES):
+            solo_probe = VectorSeriesProbe(window=WINDOW)
+            _run(VectorNetwork, PSEUDO_SB, rate, 300, solo_probe,
+                 topo_args=("mesh", 4, 4, 1), seed=seed)
+            view = batch_probe.lane_view(lane)
+            solo = list(solo_probe.samples)
+            got = list(view.samples)
+            assert len(got) >= len(solo)
+            # The shared chip drains to its slowest lane, so the view
+            # may carry extra all-idle trailing windows and a later
+            # final ``end``; every count and occupancy must still match.
+            for idx, ref in enumerate(solo):
+                row = got[idx]
+                assert row["start"] == ref["start"]
+                if idx < len(solo) - 1:
+                    assert row["end"] == ref["end"]
+                for key in ref:
+                    if key not in ("start", "end"):
+                        assert row[key] == ref[key], (idx, key)
+            idle = {key: [0] * view._num for key in solo[0]
+                    if key not in ("start", "end", "occupancy")}
+            for row in got[len(solo):]:
+                for key, zeros in idle.items():
+                    assert row[key] == zeros
+                assert row["occupancy"] == [0] * view._num
+            assert view.heatmap()["grid"] is not None
+
+    def test_lane_out_of_range(self):
+        topo = make_topology("mesh", 4, 4, 1)
+        probe = VectorSeriesProbe(window=WINDOW)
+        net = BatchNetwork(topo, NetworkConfig(pseudo=BASELINE),
+                           routing="xy", vc_policy="dynamic", seeds=[1, 2])
+        net.bind_probe(probe)
+        with pytest.raises(ValueError, match="out of range"):
+            probe.lane_view(2)
+
+
+class TestOverheadGate:
+    def test_default_network_is_cold(self):
+        from repro.instrument.overhead import assert_probes_cold
+        topo = make_topology("mesh", 4, 4, 1)
+        net = VectorNetwork(topo, NetworkConfig(pseudo=PSEUDO_SB),
+                            routing="xy", vc_policy="dynamic", seed=7)
+        assert_probes_cold(net)
+
+    def test_instrumented_network_is_hot(self):
+        from repro.instrument.overhead import assert_probes_cold
+        topo = make_topology("mesh", 4, 4, 1)
+        net = VectorNetwork(topo, NetworkConfig(pseudo=PSEUDO_SB),
+                            routing="xy", vc_policy="dynamic", seed=7)
+        net.bind_probe(VectorSeriesProbe(window=WINDOW))
+        with pytest.raises(AssertionError):
+            assert_probes_cold(net)
+
+    def test_identity_check(self):
+        """The full stack (series probe + strict checker + profiler)
+        must leave the stats fingerprint bit-identical to a bare run."""
+        from repro.instrument import vectorized_identity_check
+        report = vectorized_identity_check(cycles=300)
+        assert report["stats_identical"]
+        assert report["series_windows"] > 0
+        assert report["checker_sweeps"] > 0
+        assert report["phase_profile"]["stepped_cycles"] > 0

@@ -71,3 +71,23 @@ class TestPaths:
         assert metrics_path("results/sweep.json") == \
             "results/sweep.metrics.json"
         assert metrics_path("noext") == "noext.metrics.json"
+
+
+class TestBackendStamp:
+    def test_scalar_snapshot_stamps_backend(self):
+        registry = default_registry()
+        net = monitored_net(registry.probe(), rate=0.1, cycles=100)
+        net.drain()
+        doc = registry.finish(net)
+        assert doc["backend"] == "scalar"
+
+    def test_explicit_backend_overrides_duck_typing(self):
+        # The batched per-lane snapshot path passes a stats shim that is
+        # not the live network, so it names the core explicitly.
+        registry = default_registry()
+        net = monitored_net(registry.probe(), rate=0.1, cycles=100)
+        net.drain()
+        for monitor in registry.monitors:
+            monitor.finish(net)
+        doc = registry.snapshot(net, backend="batched")
+        assert doc["backend"] == "batched"

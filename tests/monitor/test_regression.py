@@ -142,3 +142,54 @@ class TestBenchDocCompat:
         assert "workloads.sat.stats_identical" not in flat  # bool skipped
         report = compare_docs(doc, doc)
         assert report["regressed"] == 0
+
+
+class TestBackendIdentity:
+    def test_document_backend_lookup_paths(self):
+        from repro.monitor import document_backend
+        assert document_backend({"backend": "vectorized"}) == "vectorized"
+        assert document_backend({"meta": {"backend": "auto"}}) == "auto"
+        assert document_backend({"runs": [
+            {"backend": "scalar"}, {"backend": "scalar"}]}) == "scalar"
+        assert document_backend({"runs": [
+            {"backend": "scalar"}, {"backend": "batched"}]}) == \
+            "mixed(batched,scalar)"
+        assert document_backend({}) is None  # pre-stamp documents
+
+    def test_compare_stamps_backends_and_flags_mismatch(self, tmp_path):
+        from repro.monitor import compare_files, render_report
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps({"backend": "scalar",
+                                   "avg_latency": 10.0}))
+        new.write_text(json.dumps({"backend": "vectorized",
+                                   "avg_latency": 10.0}))
+        report = compare_files(str(old), str(new))
+        docs = report["documents"]
+        assert docs["old"]["backend"] == "scalar"
+        assert docs["new"]["backend"] == "vectorized"
+        assert report["backend_mismatch"]
+        text = render_report(report)
+        assert "(backend scalar)" in text
+        assert "different backends" in text
+        # Backend strings are identity, not metrics: nothing compared.
+        assert report["regressed"] == 0
+
+    def test_same_backend_is_not_a_mismatch(self, tmp_path):
+        from repro.monitor import compare_files, render_report
+        for name in ("a.json", "b.json"):
+            (tmp_path / name).write_text(json.dumps(
+                {"backend": "vectorized", "avg_latency": 1.0}))
+        report = compare_files(str(tmp_path / "a.json"),
+                               str(tmp_path / "b.json"))
+        assert not report["backend_mismatch"]
+        assert "different backends" not in render_report(report)
+
+    def test_unstamped_documents_stay_quiet(self, tmp_path):
+        from repro.monitor import compare_files
+        for name in ("a.json", "b.json"):
+            (tmp_path / name).write_text(json.dumps({"avg_latency": 1.0}))
+        report = compare_files(str(tmp_path / "a.json"),
+                               str(tmp_path / "b.json"))
+        assert not report["backend_mismatch"]
+        assert report["documents"]["old"]["backend"] is None

@@ -80,21 +80,31 @@ class TestBuildDispatch:
 class TestRefusals:
     """Unsupported combinations fail loudly, never silently fall back."""
 
-    def test_probe_rejected(self):
+    def test_per_flit_probe_rejected(self):
+        # Only probes *without* the vector_hooks capability are refused
+        # now: per-flit event streams (Chrome tracing) genuinely need
+        # the scalar core. Vector-aware probes bind fine (see
+        # tests/instrument/test_vector_series.py).
         pytest.importorskip("numpy")
+        from repro.instrument import FlitTracer
         cfg = ExperimentConfig(topology="mesh", kx=2, ky=2, concentration=1,
                                routing="xy", pattern="uniform",
                                backend="vectorized")
-        with pytest.raises(BackendUnsupportedError, match="probes"):
-            build_network(cfg, probe=object())
+        with pytest.raises(BackendUnsupportedError, match="per-flit"):
+            build_network(cfg, probe=FlitTracer())
 
-    def test_checked_run_rejected(self):
+    def test_checked_run_supported(self):
+        # --check no longer pins the scalar core: the vectorized path
+        # attaches the array-native invariant checker instead.
         pytest.importorskip("numpy")
-        cfg = ExperimentConfig(topology="mesh", kx=2, ky=2, concentration=1,
-                               routing="xy", pattern="uniform",
-                               backend="vectorized")
-        with pytest.raises(BackendUnsupportedError, match="probes"):
-            run_experiment(cfg, check=True)
+        cfg = ExperimentConfig(topology="mesh", kx=4, ky=4, concentration=1,
+                               routing="xy", pattern="uniform", rate=0.1,
+                               synth_cycles=200, backend="vectorized")
+        res = run_experiment(cfg, check=True)
+        report = res.monitor_report
+        assert report["backend"] == "vectorized"
+        assert report["violation_count"] == 0
+        assert report["monitors"]["vector_invariants"]["sweeps"] > 0
 
     def test_multidrop_topology_rejected(self):
         # MECS at 4x4 has true multidrop express channels (2x2 is
@@ -171,6 +181,22 @@ class TestAutoSelector:
         path.write_text("{}")
         assert not load_calibration(path)
         assert calibration() == before
+
+    def test_load_calibration_warns_on_stderr(self, tmp_path, capsys,
+                                              default_calibration):
+        # A typo'd path must not silently run with default crossovers:
+        # both failure modes name the path and the reason on stderr.
+        missing = tmp_path / "absent.json"
+        assert not load_calibration(missing)
+        err = capsys.readouterr().err
+        assert "warning" in err and str(missing) in err
+        assert "default crossovers" in err
+
+        noblock = tmp_path / "noblock.json"
+        noblock.write_text("{}")
+        assert not load_calibration(noblock)
+        err = capsys.readouterr().err
+        assert str(noblock) in err and "no 'calibration' block" in err
 
 
 class TestAutoDispatch:
