@@ -24,7 +24,11 @@ Commands (full reference with every flag: ``docs/CLI.md``):
   loadable in Perfetto), the windowed per-router time series (CSV +
   JSON + spatial heatmap) and the run manifest;
 * ``store`` — inspect / maintain the content-addressed result store
-  (``ls``, ``verify``, ``gc``, ``export``).
+  (``ls``, ``verify``, ``gc``, ``export``);
+* ``top`` — follow a sweep's telemetry stream (or checkpoint journal)
+  live: points/s, tier mix, per-worker utilization, retries, ETA;
+  ``--once`` snapshots, ``--trace-out``/``--report-out`` export the
+  Perfetto trace and the sweep-report.
 
 ``run``, ``sweep`` and ``bench`` accept ``--check`` to attach the full
 online-monitor suite (``repro.monitor``): invariant violations abort the
@@ -42,7 +46,8 @@ store, so re-running figures or sweeps over a warm store is near-free;
 ``sweep --journal PATH`` checkpoints every completed point and
 ``--resume`` continues an interrupted sweep bit-identically;
 ``--retries``/``--timeout`` govern worker retries and pool-stall
-recovery.
+recovery; ``sweep --telemetry PATH`` records the span/event stream
+``repro top`` follows (see ``repro.telemetry``).
 """
 
 from __future__ import annotations
@@ -284,7 +289,12 @@ def _cmd_sweep(args) -> int:
               check_stride=args.check_stride,
               journal=args.journal, resume=args.resume,
               retries=args.retries, backoff_base=args.backoff,
-              timeout=args.timeout, **overrides)
+              timeout=args.timeout, telemetry=args.telemetry,
+              **overrides)
+    if args.telemetry is not None:
+        from .telemetry import report_path
+        print(f"telemetry: {args.telemetry} "
+              f"(report {report_path(args.telemetry)})")
     if args.check:
         print(f"monitors: all {2 * len(rows)} sweep points "
               f"violation-free")
@@ -295,6 +305,17 @@ def _cmd_sweep(args) -> int:
     _store_summary()
     _persist(args.out, {"command": "sweep", "kind": args.kind}, rows)
     return 0
+
+
+def _cmd_top(args) -> int:
+    from .telemetry import run_top
+    try:
+        return run_top(args.stream, once=args.once,
+                       interval=args.interval, trace_out=args.trace_out,
+                       report_out=args.report_out)
+    except KeyboardInterrupt:
+        print()  # leave the last snapshot on its own line
+        return 130
 
 
 def _cmd_compare(args) -> int:
@@ -463,6 +484,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "multi-lane batched run (default 16; 1 "
                               "disables batching; only points with "
                               "--backend batched or auto group)")
+    sweep_p.add_argument("--telemetry", default=None, metavar="PATH",
+                         help="append the span/event telemetry stream "
+                              "(one closed span per point: tier, "
+                              "backend, retries, walls) to this JSONL "
+                              "file; a repro.sweep-report/1 summary is "
+                              "written next to it when the sweep ends; "
+                              "follow live with 'repro top PATH'")
 
     bench_p = sub.add_parser(
         "bench", help="time canonical workloads, write BENCH_core.json")
@@ -516,6 +544,30 @@ def build_parser() -> argparse.ArgumentParser:
     compare_p.add_argument("--show-ok", action="store_true",
                            help="note explicitly when nothing moved")
 
+    top_p = sub.add_parser(
+        "top", help="live progress of a running (or finished) sweep from "
+                    "its telemetry stream or checkpoint journal")
+    top_p.add_argument("stream",
+                       help="telemetry stream (sweep --telemetry) or "
+                            "checkpoint journal (sweep --journal) to "
+                            "follow; the kind is sniffed from the file")
+    top_p.add_argument("--once", action="store_true",
+                       help="print a single snapshot and exit (works "
+                            "mid-sweep and on a dead sweep's leftover "
+                            "stream)")
+    top_p.add_argument("--interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="seconds between refreshes in follow mode "
+                            "(default 2.0)")
+    top_p.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="also write a Chrome trace_event JSON of "
+                            "everything read (workers as tracks; open "
+                            "in Perfetto); telemetry streams only")
+    top_p.add_argument("--report-out", default=None, metavar="PATH",
+                       help="also write the repro.sweep-report/1 summary "
+                            "built from everything read; telemetry "
+                            "streams only")
+
     add_store_parser(sub)
     return parser
 
@@ -526,6 +578,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.command == "store":
         return cmd_store(args)
+    if args.command == "top":
+        return _cmd_top(args)
     _activate_store(args)
     # Install the backend before any ExperimentConfig is constructed:
     # configs freeze the process default into their cache/store keys.

@@ -783,6 +783,18 @@ def run_bench(cycles: int = DEFAULT_CYCLES, repeats: int = DEFAULT_REPEATS,
             if show:
                 print(f"auto gate: {len(disagreements)} disagreement(s), "
                       f"max penalty {penalty:+.2%}")
+        # Telemetry must be free when off and pure observation when on:
+        # a telemetry-off sweep constructs no emitter at all, and a
+        # telemetry-on sweep returns bit-identical results. Raises
+        # OverheadGateError on any violation.
+        from ..telemetry.overhead import telemetry_cold_check
+        gate_report["telemetry"] = telemetry_cold_check()
+        if show:
+            tel_gate = gate_report["telemetry"]
+            print(f"telemetry gate: off-by-default ok, "
+                  f"{tel_gate['points']} points bit-identical with "
+                  f"telemetry on ({tel_gate['stream_records']} stream "
+                  f"records)")
         report["overhead_gate"] = gate_report
     if check:
         from ..monitor import metrics_path, self_check, write_metrics

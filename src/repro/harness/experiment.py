@@ -427,6 +427,44 @@ def _replay(net: Network, trace: Trace) -> None:
     net.drain(max_cycles=500_000)
 
 
+def memo_hit(config: ExperimentConfig) -> Result | None:
+    """The in-process memo entry for ``config``; the store is untouched.
+
+    Telemetry uses this to attribute cache resolutions to the right
+    tier: a ``memo`` hit answered from process memory versus a
+    ``store`` hit that paid a disk read — ``cached`` alone cannot tell
+    them apart (and bumps the store's miss counter while looking).
+    """
+    return _run_cache.get(config)
+
+
+def backend_decision(config: ExperimentConfig, lanes: int = 1) -> dict:
+    """The concrete core a point runs on, with the selector's inputs.
+
+    For ``auto`` points this is ``network.backend.explain_choice`` —
+    chosen core, offered load, the calibrated crossover it was compared
+    against, calibration source. Explicit backends record the policy
+    with ``reason: "explicit"`` (a solo point under the ``batched``
+    policy runs on the vectorized core, as ``build_network`` does).
+    Purely observational: ``build_network`` stays the authority, and
+    its documented scalar fallback for refused ``auto`` configurations
+    is not re-modelled here.
+    """
+    policy = resolve_backend(config.backend)
+    if policy != "auto":
+        chosen = policy
+        if policy == "batched" and lanes <= 1:
+            chosen = "vectorized"
+        return {"chosen": chosen, "policy": policy, "reason": "explicit"}
+    from ..network.backend import explain_choice
+    decision = explain_choice(
+        terminals=config.kx * config.ky * config.concentration,
+        rate=config.rate if config.benchmark is None else None,
+        pseudo=config.scheme.enabled, batch=lanes)
+    decision["policy"] = "auto"
+    return decision
+
+
 def cached(config: ExperimentConfig, store=None) -> Result | None:
     """Return the cached result for ``config``, if any.
 

@@ -32,6 +32,16 @@ On top of that ordered merge the scheduler is built to *survive*
   process-wide default installed by
   ``experiment.set_default_store``), so a *new process* reruns nothing
   that is already known.
+* **Telemetry** — with ``telemetry=`` every scheduling decision and
+  cost lands in an append-only span/event stream
+  (``repro.telemetry``): one closed span per completed point stamped
+  with its resolution tier (journal-replay/memo/store/simulate), the
+  backend chosen and why, attempt count and backoff history, plus
+  scheduler lifecycle events (batch-group formation, pool dispatch,
+  degradation, retries) and per-process store-counter deltas. The
+  default is ``telemetry=None`` and that path is a null object — no
+  stream, no spans, no timing calls (the bench gate's
+  ``telemetry_cold_check`` enforces it).
 * **Batched execution** — after the cache layers resolve, points that
   share a ``batch_key`` (same chip shape, scheme and VC policy, with
   backend ``batched`` or ``auto``) are grouped into units of up to
@@ -62,8 +72,9 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from ..instrument import run_manifest
 from ..store import (SweepJournal, payload_to_result, result_to_payload,
                      store_key)
-from .experiment import (ExperimentConfig, Result, batch_key, cache_result,
-                         cached, run_batch_experiments, run_experiment)
+from .experiment import (ExperimentConfig, Result, backend_decision,
+                         batch_key, cache_result, cached, default_store,
+                         memo_hit, run_batch_experiments, run_experiment)
 
 
 def derive_seed(sweep_seed: int, *coords) -> int:
@@ -178,47 +189,128 @@ def _group_units(todo: Sequence[tuple], batch_size: int) -> list[list]:
     return units
 
 
-def _run_unit(cfgs: Sequence[ExperimentConfig],
-              check: bool = False, check_stride: int = 1) -> list:
+def _decision_fields(cfg: ExperimentConfig, lanes: int = 1) -> dict:
+    """Span fields naming the chosen backend and the selector inputs."""
+    try:
+        decision = backend_decision(cfg, lanes=lanes)
+    except Exception:
+        return {}  # observation must never fail the point
+    return {"backend": decision.pop("chosen", None), "decision": decision}
+
+
+def _run_unit(points: Sequence[tuple], check: bool = False,
+              check_stride: int = 1, tel=None) -> list:
     """Simulate one unit: a multi-point unit runs as one batched chip.
 
-    A failure of the *batch* (any lane's exception aborts the shared
-    chip) falls back to per-point simulation, which both isolates the
-    failing lane and completes its innocent unit-mates. Per-point
-    failures are returned as ``SweepPointError`` outcomes, never
-    raised, so one bad point cannot discard the unit's completed work.
-    Checked units stay batched: one ``VectorInvariantChecker`` sweeps
-    every lane of the shared chip at once.
+    ``points`` are ``(idx, cfg)`` pairs (the sweep index travels with
+    the config so telemetry spans name the point they close). A failure
+    of the *batch* (any lane's exception aborts the shared chip) falls
+    back to per-point simulation, which both isolates the failing lane
+    and completes its innocent unit-mates. Per-point failures are
+    returned as ``SweepPointError`` outcomes, never raised, so one bad
+    point cannot discard the unit's completed work. Checked units stay
+    batched: one ``VectorInvariantChecker`` sweeps every lane of the
+    shared chip at once.
+
+    With ``tel`` every completed point emits its closed span *before*
+    the outcome travels back to the parent (whose ``finish_point``
+    journals it) — the ordering that makes "every journaled point has a
+    span" hold through a SIGKILL at any instant.
     """
+    cfgs = [cfg for _, cfg in points]
+    solo_fallback = False
     if len(cfgs) > 1:
+        start = time.perf_counter()
         try:
             # Cache layers were already consulted by ``collect_todo``;
             # the parent's ``finish_point`` writes results through.
-            return list(run_batch_experiments(cfgs, use_cache=False,
-                                              check=check,
-                                              check_stride=check_stride))
-        except Exception:
-            pass  # rerun solo to isolate the failing lane
+            results = list(run_batch_experiments(cfgs, use_cache=False,
+                                                 check=check,
+                                                 check_stride=check_stride))
+        except Exception as exc:
+            solo_fallback = True  # rerun solo to isolate the failing lane
+            if tel is not None:
+                tel.emit("unit", lanes=len(cfgs), status="batch-failed",
+                         cause=f"{type(exc).__name__}: {exc}")
+        else:
+            if tel is not None:
+                dur = time.perf_counter() - start
+                tel.emit("unit", lanes=len(cfgs), status="ok",
+                         dur_s=round(dur, 6))
+                for lane, (idx, cfg) in enumerate(points):
+                    tel.point(idx, cfg, store_key(cfg), "simulate",
+                              dur / len(cfgs), backend="batched",
+                              attempts=1, lane=lane, lanes=len(cfgs),
+                              decision={"policy": cfg.backend,
+                                        "reason": "batched-unit",
+                                        "batch": len(cfgs)})
+            return results
     outcomes = []
-    for cfg in cfgs:
+    for idx, cfg in points:
+        start = time.perf_counter()
         try:
-            outcomes.append(_run_point(cfg, check, check_stride))
+            result = _run_point(cfg, check, check_stride)
         except SweepPointError as err:
+            if tel is not None:
+                tel.emit("point_failed", idx=idx, label=cfg.label,
+                         cause=err.cause, solo_fallback=solo_fallback)
             outcomes.append(err)
+        else:
+            if tel is not None:
+                tel.point(idx, cfg, store_key(cfg), "simulate",
+                          time.perf_counter() - start, attempts=1,
+                          solo_fallback=solo_fallback,
+                          **_decision_fields(cfg))
+            outcomes.append(result)
     return outcomes
 
 
-def _run_chunk(units: Sequence[Sequence[ExperimentConfig]],
-               check: bool = False, check_stride: int = 1) -> list:
+#: Per-process worker telemetry: stream path -> (Telemetry, store-stat
+#: baseline at first use). Forked workers inherit the parent's counter
+#: values, so the baseline turns cumulative counters into this worker's
+#: own traffic.
+_worker_state: dict = {}
+
+
+def _worker_telemetry(spec):
+    """The (emitter, store baseline) pair of this worker process."""
+    path, sweep = spec
+    state = _worker_state.get(path)
+    if state is None:
+        from ..telemetry import Telemetry
+        store = default_store()
+        baseline = dict(store.stats) if store is not None else None
+        state = _worker_state[path] = (Telemetry(path, sweep=sweep),
+                                       baseline)
+    return state
+
+
+def _run_chunk(units: Sequence[Sequence[tuple]],
+               check: bool = False, check_stride: int = 1,
+               telemetry=None) -> list:
     """Worker entry point: simulate one chunk of units, in order.
 
-    Returns one outcome per *point* (units flattened in order): either
-    a ``Result`` or the ``SweepPointError`` that point raised (both
-    pickle-safe).
+    ``units`` hold ``(idx, cfg)`` points. Returns one outcome per
+    *point* (units flattened in order): either a ``Result`` or the
+    ``SweepPointError`` that point raised (both pickle-safe).
+    ``telemetry`` is ``(stream path, sweep id)`` or ``None``; with it,
+    the worker appends spans to the shared stream as points complete
+    and a cumulative ``worker_store`` counter delta after each chunk.
     """
+    tel = baseline = None
+    if telemetry is not None:
+        tel, baseline = _worker_telemetry(telemetry)
+    start = time.perf_counter()
     outcomes = []
-    for cfgs in units:
-        outcomes.extend(_run_unit(cfgs, check, check_stride))
+    for points in units:
+        outcomes.extend(_run_unit(points, check, check_stride, tel))
+    if tel is not None:
+        fields = {"points": len(outcomes),
+                  "busy_s": round(time.perf_counter() - start, 6)}
+        store = default_store()
+        if store is not None and baseline is not None:
+            fields["stats"] = store.stats_delta(baseline)
+        tel.emit("worker_store", **fields)
     return outcomes
 
 
@@ -233,12 +325,32 @@ def _open_journal(journal, resume: bool):
     return journal
 
 
+def _open_telemetry(telemetry, resume: bool):
+    """Normalize ``telemetry=``: ``None``, a path, or a live emitter.
+
+    Mirrors ``_open_journal``: a path starts the stream over unless
+    resuming (a resumed sweep appends its records after the interrupted
+    sweep's, and followers/reports key on the newest ``sweep_begin``).
+    The import is lazy so the telemetry-off path never touches the
+    package.
+    """
+    if telemetry is None:
+        return None
+    from ..telemetry import Telemetry
+    if isinstance(telemetry, Telemetry):
+        return telemetry
+    tel = Telemetry(telemetry)
+    if not resume:
+        tel.truncate()
+    return tel
+
+
 class _Scheduler:
     """One ``run_experiments`` invocation's mutable scheduling state."""
 
     def __init__(self, configs, *, check, store, journal, resume,
                  max_attempts, backoff_base, backoff_cap, timeout, sleep,
-                 check_stride=1):
+                 check_stride=1, telemetry=None):
         self.configs = configs
         self.results: list[Result | None] = [None] * len(configs)
         self.check = check
@@ -251,24 +363,44 @@ class _Scheduler:
         self.backoff_cap = backoff_cap
         self.timeout = timeout
         self.sleep = sleep
+        self.tel = telemetry
 
     # -- completion -------------------------------------------------------
 
     def finish_point(self, idx: int, result: Result,
                      from_journal: bool = False) -> None:
-        """Record one completed point: slot, memo/store, checkpoint."""
+        """Record one completed point: slot, memo/store, checkpoint.
+
+        With telemetry on, the store write-through and journal append
+        are timed and emitted as a ``persist`` event — the "40% of the
+        wall went to store I/O" records the ISSUE asks for.
+        """
         self.results[idx] = result
+        tel = self.tel
+        t0 = time.perf_counter() if tel is not None else 0.0
         if not self.check:
             cache_result(result, store=self.store)
+        t1 = time.perf_counter() if tel is not None else 0.0
         if self.journal is not None and not from_journal:
             self.journal.append(store_key(result.config),
                                 result_to_payload(result))
+        if tel is not None:
+            tel.emit("persist", idx=idx, store_s=round(t1 - t0, 6),
+                     journal_s=round(time.perf_counter() - t1, 6))
 
     # -- skip phase: journal, memo, store ---------------------------------
 
     def collect_todo(self) -> list[tuple[int, ExperimentConfig]]:
         """Resolve every point answerable without simulating; return the
-        rest."""
+        rest.
+
+        With telemetry on, every cache-resolved point emits a closed
+        span stamped with the tier that answered it — ``journal-replay``,
+        ``memo`` (in-process memory, free) or ``store`` (paid a disk
+        read, whose wall the span carries). Spans are emitted *before*
+        the journal append so a journaled point always has its span.
+        """
+        tel = self.tel
         journaled: dict[str, dict] = {}
         if self.journal is not None and self.resume:
             journaled = self.journal.load()
@@ -277,22 +409,38 @@ class _Scheduler:
             if self.check:
                 todo.append((idx, cfg))
                 continue
-            payload = journaled.get(store_key(cfg))
+            key = store_key(cfg)
+            payload = journaled.get(key)
             if payload is not None:
+                t0 = time.perf_counter() if tel is not None else 0.0
                 try:
-                    self.finish_point(idx, payload_to_result(payload),
-                                      from_journal=True)
-                    continue
+                    result = payload_to_result(payload)
                 except (KeyError, TypeError, ValueError):
                     pass  # stale journal payload: recompute
-            hit = cached(cfg, store=self.store)
+                else:
+                    if tel is not None:
+                        tel.point(idx, cfg, key, "journal-replay",
+                                  time.perf_counter() - t0, attempts=0)
+                    self.finish_point(idx, result, from_journal=True)
+                    continue
+            if tel is not None:
+                hit = memo_hit(cfg)
+                tier, read_s = "memo", 0.0
+                if hit is None:
+                    t0 = time.perf_counter()
+                    hit = cached(cfg, store=self.store)
+                    read_s = time.perf_counter() - t0
+                    tier = "store"
+            else:
+                hit = cached(cfg, store=self.store)
             if hit is not None:
                 # Already durable — record the slot (and checkpoint, so
                 # the journal stays self-contained) without a store put.
                 self.results[idx] = hit
+                if tel is not None:
+                    tel.point(idx, cfg, key, tier, read_s, attempts=0)
                 if self.journal is not None:
-                    self.journal.append(store_key(cfg),
-                                        result_to_payload(hit))
+                    self.journal.append(key, result_to_payload(hit))
             else:
                 todo.append((idx, cfg))
         return todo
@@ -301,14 +449,20 @@ class _Scheduler:
 
     def attempt_with_retries(self, cfg: ExperimentConfig,
                              first_error: SweepPointError | None = None,
-                             attempts_done: int = 0) -> Result:
+                             attempts_done: int = 0,
+                             idx: int | None = None) -> Result:
         """Run one point inline, retrying with deterministic backoff.
 
         ``first_error``/``attempts_done`` account for attempts already
         spent in the worker pool. Exhausting the budget raises a
         ``SweepPointError`` carrying the attempt count and the full
-        backoff history, chained to the underlying cause.
+        backoff history, chained to the underlying cause. Telemetry
+        records every scheduled retry (attempt number, delay, cause),
+        the final span with its total attempt count and backoff
+        history, and — on a spent budget — a terminal ``point_error``
+        span, so a crashed sweep's stream explains itself.
         """
+        tel = self.tel
         attempt = attempts_done
         last = first_error
         history: list[float] = []
@@ -317,12 +471,28 @@ class _Scheduler:
                 delay = backoff_delay(attempt, self.backoff_base,
                                       self.backoff_cap)
                 history.append(delay)
+                if tel is not None:
+                    tel.emit("retry", idx=idx, label=cfg.label,
+                             attempt=attempt + 1, delay_s=round(delay, 6),
+                             cause=(last.cause if last is not None
+                                    else None))
                 self.sleep(delay)
             attempt += 1
+            t0 = time.perf_counter() if tel is not None else 0.0
             try:
-                return _run_point(cfg, self.check, self.check_stride)
+                result = _run_point(cfg, self.check, self.check_stride)
             except SweepPointError as err:
                 last = err
+            else:
+                if tel is not None:
+                    tel.point(idx, cfg, store_key(cfg), "simulate",
+                              time.perf_counter() - t0, attempts=attempt,
+                              backoff_s=[round(d, 6) for d in history],
+                              **_decision_fields(cfg))
+                return result
+        if tel is not None:
+            tel.point_error(idx, cfg, last.cause, attempts=attempt,
+                            backoff_s=history)
         if attempt <= 1 and not history:
             raise last  # single attempt: surface the original error as-is
         rebuilt = SweepPointError(last.point, last.cause, last.manifest,
@@ -336,20 +506,40 @@ class _Scheduler:
         fails, every lane reruns solo through the normal retry path, so
         batching never costs a point its retry budget.
         """
+        tel = self.tel
         for unit in units:
             if len(unit) > 1:
+                t0 = time.perf_counter()
                 try:
                     lanes = run_batch_experiments(
                         [cfg for _, cfg in unit], use_cache=False,
                         check=self.check, check_stride=self.check_stride)
-                except Exception:
+                except Exception as exc:
                     lanes = None  # isolate the failing lane solo below
+                    if tel is not None:
+                        tel.emit("unit", lanes=len(unit),
+                                 status="batch-failed",
+                                 cause=f"{type(exc).__name__}: {exc}")
                 if lanes is not None:
-                    for (idx, _), result in zip(unit, lanes):
+                    dur = time.perf_counter() - t0
+                    if tel is not None:
+                        tel.emit("unit", lanes=len(unit), status="ok",
+                                 dur_s=round(dur, 6))
+                    for lane, ((idx, cfg), result) in enumerate(
+                            zip(unit, lanes)):
+                        if tel is not None:
+                            tel.point(idx, cfg, store_key(cfg), "simulate",
+                                      dur / len(unit), backend="batched",
+                                      attempts=1, lane=lane,
+                                      lanes=len(unit),
+                                      decision={"policy": cfg.backend,
+                                                "reason": "batched-unit",
+                                                "batch": len(unit)})
                         self.finish_point(idx, result)
                     continue
             for idx, cfg in unit:
-                self.finish_point(idx, self.attempt_with_retries(cfg))
+                self.finish_point(idx,
+                                  self.attempt_with_retries(cfg, idx=idx))
 
     # -- pooled execution --------------------------------------------------
 
@@ -364,6 +554,7 @@ class _Scheduler:
         into an in-process retry pass with backoff; the first point (in
         input order) to exhaust its attempts raises.
         """
+        tel = self.tel
         npoints = sum(len(unit) for unit in units)
         if chunk_size is None:
             # ~4 chunks per worker balances load without excessive
@@ -383,21 +574,30 @@ class _Scheduler:
         if cur:
             chunks.append(cur)
         workers = min(max_workers, len(chunks))
+        if tel is not None:
+            tel.emit("dispatch", points=npoints, chunks=len(chunks),
+                     chunk_size=chunk_size, workers=workers)
+        tel_spec = (tel.path, tel.sweep) if tel is not None else None
         pool = ProcessPoolExecutor(max_workers=workers)
         recover: list[tuple] = []  # (idx, cfg, pool_error | None)
+        submitted: dict = {}       # future -> submission perf_counter
         try:
-            future_chunks = {
-                pool.submit(_run_chunk,
-                            [[cfg for _, cfg in unit] for unit in chunk],
-                            self.check, self.check_stride):
-                [point for unit in chunk for point in unit]
-                for chunk in chunks}
+            future_chunks = {}
+            for chunk in chunks:
+                future = pool.submit(_run_chunk, chunk, self.check,
+                                     self.check_stride, tel_spec)
+                future_chunks[future] = [point for unit in chunk
+                                         for point in unit]
+                submitted[future] = time.perf_counter()
         except Exception:
             # Pool unusable from the start (e.g. fork failure): everything
             # runs inline.
             recover = [(idx, cfg, None)
                        for unit in units for idx, cfg in unit]
             future_chunks = {}
+            if tel is not None:
+                tel.emit("degrade", reason="pool-unusable",
+                         points=npoints)
         pending = set(future_chunks)
         while pending:
             done, pending = wait(pending, timeout=self.timeout,
@@ -405,21 +605,35 @@ class _Scheduler:
             if not done:
                 # No chunk completed within the timeout window: stop
                 # trusting the pool, salvage the rest in-process.
+                stalled = 0
                 for future in pending:
                     future.cancel()
                     recover.extend((idx, cfg, None)
                                    for idx, cfg in future_chunks[future])
+                    stalled += len(future_chunks[future])
+                if tel is not None:
+                    tel.emit("degrade", reason="stall-timeout",
+                             timeout_s=self.timeout, points=stalled)
                 pending = set()
                 break
             for future in done:
                 chunk = future_chunks[future]
                 try:
                     outcomes = future.result()
-                except Exception:
+                except Exception as exc:
                     # Worker process died / pool broke mid-flight: the
                     # chunk's points rerun serially.
                     recover.extend((idx, cfg, None) for idx, cfg in chunk)
+                    if tel is not None:
+                        tel.emit("degrade", reason="worker-failure",
+                                 points=len(chunk),
+                                 cause=f"{type(exc).__name__}: {exc}")
                     continue
+                if tel is not None:
+                    tel.emit("chunk", points=len(chunk),
+                             turnaround_s=round(
+                                 time.perf_counter() - submitted[future],
+                                 6))
                 for (idx, cfg), outcome in zip(chunk, outcomes):
                     if isinstance(outcome, SweepPointError):
                         recover.append((idx, cfg, outcome))
@@ -428,9 +642,14 @@ class _Scheduler:
         pool.shutdown(wait=False, cancel_futures=True)
         for idx, cfg, err in sorted(recover, key=lambda item: item[0]):
             if err is not None and self.max_attempts <= 1:
+                if tel is not None:
+                    tel.point_error(idx, cfg, err.cause,
+                                    attempts=err.attempts,
+                                    backoff_s=err.backoff_s)
                 raise err
             result = self.attempt_with_retries(
-                cfg, first_error=err, attempts_done=1 if err else 0)
+                cfg, first_error=err, attempts_done=1 if err else 0,
+                idx=idx)
             self.finish_point(idx, result)
 
 
@@ -447,7 +666,8 @@ def run_experiments(configs: Iterable[ExperimentConfig],
                     backoff_cap: float = 30.0,
                     timeout: float | None = None,
                     sleep=time.sleep,
-                    batch_size: int = 16) -> list[Result]:
+                    batch_size: int = 16,
+                    telemetry=None) -> list[Result]:
     """Run many experiment points, returning results in input order.
 
     Cached points are answered without simulating — from the in-process
@@ -486,26 +706,69 @@ def run_experiments(configs: Iterable[ExperimentConfig],
     replayed result would skip the monitors) but batch normally: one
     checker's whole-array sweeps cover every lane of a shared chip, and
     violations carry the offending lane index.
+
+    ``telemetry=`` (a stream path or a live ``repro.telemetry
+    .Telemetry``) switches on the span/event stream documented in
+    ``repro.telemetry``: one closed span per point, scheduler lifecycle
+    events, per-process store-counter deltas — and, when given as a
+    path, a ``repro.sweep-report/1`` summary written next to the stream
+    when the sweep ends (whatever way it ends). Telemetry is pure
+    observation: results are bit-identical with it on or off, and the
+    default off path holds no emitter at all.
     """
     configs = list(configs)
     journal = _open_journal(journal if not check else None, resume)
+    tel = _open_telemetry(telemetry, resume)
     scheduler = _Scheduler(
         configs, check=check, store=store, journal=journal, resume=resume,
         max_attempts=1 + max(0, retries), backoff_base=backoff_base,
         backoff_cap=backoff_cap, timeout=timeout, sleep=sleep,
-        check_stride=check_stride)
+        check_stride=check_stride, telemetry=tel)
+    if max_workers is None:
+        max_workers = default_workers()
+    status, error = "error", None
+    start = time.perf_counter()
+    active_store = store if store is not None else default_store()
+    store_baseline = (dict(active_store.stats)
+                      if tel is not None and active_store is not None
+                      else None)
+    if tel is not None:
+        tel.emit("sweep_begin", points=len(configs), workers=max_workers,
+                 batch_size=batch_size, check=check, resume=resume,
+                 retries=max(0, retries),
+                 journal=(journal.path if journal is not None else None))
     try:
         todo = scheduler.collect_todo()
-        if not todo:
-            return scheduler.results
-        units = _group_units(todo, batch_size)
-        if max_workers is None:
-            max_workers = default_workers()
-        if max_workers <= 1 or len(units) == 1:
-            scheduler.run_serial(units)
-        else:
-            scheduler.run_pooled(units, max_workers, chunk_size)
+        if todo:
+            units = _group_units(todo, batch_size)
+            if tel is not None:
+                multi = [len(unit) for unit in units if len(unit) > 1]
+                tel.emit("batch_groups", todo=len(todo), units=len(units),
+                         multi_lane_units=len(multi),
+                         batched_points=sum(multi),
+                         batch_size=batch_size)
+            if max_workers <= 1 or len(units) == 1:
+                scheduler.run_serial(units)
+            else:
+                scheduler.run_pooled(units, max_workers, chunk_size)
+        status = "ok"
+    except BaseException as exc:
+        error = f"{type(exc).__name__}: {exc}".splitlines()[0]
+        raise
     finally:
+        if tel is not None:
+            if store_baseline is not None:
+                tel.emit("worker_store", role="parent",
+                         stats=active_store.stats_delta(store_baseline))
+            tel.emit("sweep_end", status=status, error=error,
+                     wall_s=round(time.perf_counter() - start, 6),
+                     completed=sum(result is not None
+                                   for result in scheduler.results))
+            tel.close()
+            if not hasattr(telemetry, "emit"):
+                # Given as a path: the stream owns a report sidecar.
+                from ..telemetry.report import try_write_sweep_report
+                try_write_sweep_report(tel.path)
         if journal is not None:
             journal.close()
     return scheduler.results

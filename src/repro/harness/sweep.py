@@ -18,8 +18,9 @@ the ordered merge keeps the returned rows bit-identical to a serial run.
 
 The scheduler's fault-tolerance knobs pass straight through: ``journal=``
 checkpoints every completed point, ``resume=True`` replays an interrupted
-sweep's checkpoint file, and ``retries``/``timeout`` govern worker
-retries and pool-stall recovery (``DESIGN.md`` §11).
+sweep's checkpoint file, ``retries``/``timeout`` govern worker
+retries and pool-stall recovery (``DESIGN.md`` §11), and ``telemetry=``
+records the span/event stream documented in ``repro.telemetry``.
 """
 
 from __future__ import annotations
@@ -67,7 +68,7 @@ def _scheduler_kwargs(overrides: dict) -> dict:
     scheduler = {}
     for name in ("journal", "resume", "retries", "backoff_base",
                  "backoff_cap", "timeout", "sleep", "store", "batch_size",
-                 "check_stride"):
+                 "check_stride", "telemetry"):
         if name in overrides:
             scheduler[name] = overrides.pop(name)
     return scheduler

@@ -39,6 +39,21 @@ import json
 from .probe import Probe
 
 
+def chrome_trace_envelope(trace_events: list[dict], time_unit: str,
+                          dropped: int = 0) -> dict:
+    """The Chrome ``trace_event`` JSON envelope every exporter shares.
+
+    ``FlitTracer`` wraps core-level flit events in it (one simulated
+    cycle = 1 us); the harness-telemetry exporter
+    (``repro.telemetry.trace_export``) wraps scheduler/worker spans in
+    the same envelope (wall-clock us), so both open identically in
+    Perfetto. ``time_unit`` documents the mapping in ``otherData``.
+    """
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms",
+            "otherData": {"time_unit": time_unit,
+                          "dropped_events": dropped}}
+
+
 class FlitTracer(Probe):
     """Record probe events; export as JSONL or Chrome trace JSON.
 
@@ -183,9 +198,9 @@ class FlitTracer(Probe):
                 trace_events.append({
                     "name": name, "cat": "pc", "ph": "i", "s": "t",
                     "ts": cycle, "pid": router, "tid": port, "args": args})
-        return {"traceEvents": trace_events, "displayTimeUnit": "ms",
-                "otherData": {"time_unit": "1 cycle = 1 us",
-                              "dropped_events": self.dropped}}
+        return chrome_trace_envelope(trace_events,
+                                     time_unit="1 cycle = 1 us",
+                                     dropped=self.dropped)
 
     def to_chrome_trace(self, path: str) -> str:
         """Write the Chrome trace JSON; returns ``path``."""

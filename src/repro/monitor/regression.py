@@ -18,9 +18,17 @@ pattern                                tolerance  better direction
 ``*latency*``                          3% (rel)   lower
 ``*reusability*`` / ``*bypass_rate*``
 / ``*locality*``                       0.02 (abs) higher
-``*speedup*``                          10% (rel)  higher
+``*speedup*`` / ``*points_per_s``      10% (rel)  higher
+``*hit_rate*`` / ``*occupancy*``       0.02 (abs) higher
+``*utilization*``                      0.05 (abs) higher
+other ``*_s`` walls                    25% (rel)  lower
 anything else                          exact      neutral (either way)
 =====================================  =========  =======================
+
+Sweep-report documents (``repro.sweep-report/1``, written by the harness
+telemetry layer) diff through the same machinery: throughput, store hit
+rate, batch occupancy and scheduler overhead fall under the rules above,
+while per-pid worker blocks and error details are identity, not quality.
 """
 
 from __future__ import annotations
@@ -41,15 +49,23 @@ DEFAULT_RULES: list[tuple[str, float, bool, str]] = [
     ("*bypass_rate*", 0.02, False, "higher"),
     ("*locality*", 0.02, False, "higher"),
     ("*speedup*", 0.10, True, "higher"),
+    ("*points_per_s", 0.10, True, "higher"),
+    ("*hit_rate*", 0.02, False, "higher"),
+    ("*occupancy*", 0.02, False, "higher"),
+    ("*utilization*", 0.05, False, "higher"),
+    ("*_s", 0.25, True, "lower"),
     ("*", 0.0, False, "neutral"),
 ]
 
 #: Keys that identify a run rather than measure it — never compared.
 #: ``store.`` covers the result-store counter block metrics documents
-#: carry (hits/misses vary with cache temperature, not code quality).
+#: carry (hits/misses vary with cache temperature, not code quality);
+#: ``per_worker.`` / ``errors.`` cover sweep-report blocks keyed by pid
+#: or carrying absolute timestamps, which identify a run, not its
+#: quality.
 _IDENTITY_KEYS = ("meta.", "manifest.", ".git_sha", ".generated_unix",
                   ".python", ".platform", ".hostname", "schema", "store.",
-                  "documents.")
+                  "documents.", "per_worker.", "errors.")
 
 
 def flatten(doc, prefix: str = "") -> dict[str, float]:

@@ -177,6 +177,39 @@ def choose_backend(*, terminals: int, rate: float | None,
     return "vectorized" if rate * terminals >= threshold else "scalar"
 
 
+def explain_choice(*, terminals: int, rate: float | None,
+                   pseudo: bool = False, batch: int = 1) -> dict:
+    """``choose_backend`` plus the inputs that produced the decision.
+
+    Harness telemetry stamps every simulated point with this record so
+    a sweep's stream says not just *which* core ran each point but
+    *why*: the offered load, the calibrated crossover it was compared
+    against, and where that calibration came from (``default`` or a
+    ``repro bench`` measurement).
+    """
+    chosen = choose_backend(terminals=terminals, rate=rate, pseudo=pseudo,
+                            batch=batch)
+    cross = _calibration["crossover_flits_per_cycle"]
+    if batch > 1:
+        reason = "batched-unit"
+    elif rate is None or terminals <= 0:
+        reason = "no-offered-load"
+    else:
+        reason = "offered-load-crossover"
+    return {
+        "chosen": chosen,
+        "reason": reason,
+        "terminals": terminals,
+        "rate": rate,
+        "offered_flits_per_cycle": (None if rate is None
+                                    else round(rate * terminals, 3)),
+        "crossover_flits_per_cycle": cross["pseudo" if pseudo
+                                           else "baseline"],
+        "calibration_source": _calibration.get("source"),
+        "batch": batch,
+    }
+
+
 def require_numpy():
     """Import and return numpy, or raise an actionable ImportError."""
     try:

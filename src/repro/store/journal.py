@@ -25,6 +25,31 @@ from .result_store import payload_checksum
 SCHEMA = "repro.sweep-journal/1"
 
 
+def parse_line(line: str) -> tuple[str, dict] | None:
+    """Validate one journal line; ``(key, payload)`` or ``None`` if bad.
+
+    This is the single definition of "a trustworthy journal line" —
+    parseable JSON, the right schema tag, a checksum matching the
+    payload. ``SweepJournal.load`` applies it to whole files; the
+    ``repro top`` follower applies it line-by-line while another
+    process is still appending.
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except ValueError:
+        return None  # torn or garbled line
+    if (not isinstance(record, dict)
+            or record.get("schema") != SCHEMA
+            or "key" not in record or "payload" not in record):
+        return None
+    if record.get("sha256") != payload_checksum(record["payload"]):
+        return None
+    return record["key"], record["payload"]
+
+
 class SweepJournal:
     """One checkpoint file: append completed points, load them on resume."""
 
@@ -45,21 +70,9 @@ class SweepJournal:
             return completed
         with open(self.path, encoding="utf-8") as fh:
             for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except ValueError:
-                    continue  # torn or garbled line
-                if (not isinstance(record, dict)
-                        or record.get("schema") != SCHEMA
-                        or "key" not in record or "payload" not in record):
-                    continue
-                if record.get("sha256") != payload_checksum(
-                        record["payload"]):
-                    continue
-                completed[record["key"]] = record["payload"]
+                parsed = parse_line(line)
+                if parsed is not None:
+                    completed[parsed[0]] = parsed[1]
         return completed
 
     def append(self, key: str, payload: dict) -> None:

@@ -314,3 +314,14 @@ class ResultStore:
     def stats_dict(self) -> dict:
         """Counter snapshot plus the store directory, for metrics docs."""
         return {"dir": self.root, **self.stats}
+
+    def stats_delta(self, baseline: dict) -> dict:
+        """Counter movement since a ``dict(store.stats)`` snapshot.
+
+        Forked sweep workers inherit the parent's counter values, so a
+        worker's own store traffic is its current counters minus the
+        snapshot taken when the worker first ran — the quantity harness
+        telemetry aggregates across processes into the sweep-report.
+        """
+        return {key: self.stats[key] - baseline.get(key, 0)
+                for key in self.stats}

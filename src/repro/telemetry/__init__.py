@@ -1,0 +1,58 @@
+"""Harness telemetry: span-structured tracing of sweep execution.
+
+The simulator core became observable in PRs 3/4/8 (probes, monitors,
+the per-phase profiler); this package gives the *execution layer* the
+same treatment. Every sweep run can emit an append-only JSONL telemetry
+stream — the same torn-line-tolerant, checksummed discipline as the
+PR 5 checkpoint journal — of structured spans (sweep → batched unit →
+point) and scheduler lifecycle events (pool degradation, timeout
+stalls, batch-group formation, solo fallback, retries with their
+backoff schedule).
+
+Layers on top of the stream:
+
+* :mod:`repro.telemetry.report` — fold a stream into a
+  ``repro.sweep-report/1`` summary document that ``repro compare``
+  regression-gates on *execution* metrics (store hit rate, batch
+  occupancy, scheduler overhead fraction);
+* :mod:`repro.telemetry.trace_export` — render the stream as a Chrome
+  ``trace_event`` document (workers as tracks; opens in Perfetto next
+  to a core-level flit trace);
+* :mod:`repro.telemetry.top` — ``repro top``, a live follower that
+  tails the stream of an in-flight sweep, possibly owned by another
+  process;
+* :mod:`repro.telemetry.overhead` — the bench-gate check that
+  telemetry-off sweeps pay nothing (null-object contract, same as the
+  PR 3 probes).
+
+The scheduler (``repro.harness.parallel``) holds ``telemetry=None`` by
+default and emits nothing on that path; pass a path (or a
+:class:`Telemetry`) to ``run_experiments`` / ``repro sweep
+--telemetry`` to switch the stream on.
+"""
+
+from .report import (SWEEP_REPORT_SCHEMA, build_sweep_report, report_path,
+                     write_sweep_report)
+from .spans import Telemetry, new_sweep_id
+from .stream import (SCHEMA, TailReader, TelemetryWriter,
+                     parse_telemetry_line, read_stream)
+from .top import SweepProgress, run_top
+from .trace_export import telemetry_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "SCHEMA",
+    "SWEEP_REPORT_SCHEMA",
+    "SweepProgress",
+    "TailReader",
+    "Telemetry",
+    "TelemetryWriter",
+    "build_sweep_report",
+    "new_sweep_id",
+    "parse_telemetry_line",
+    "read_stream",
+    "report_path",
+    "run_top",
+    "telemetry_chrome_trace",
+    "write_chrome_trace",
+    "write_sweep_report",
+]

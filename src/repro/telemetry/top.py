@@ -1,0 +1,252 @@
+"""``repro top``: live progress of an in-flight sweep from its stream.
+
+Follows a telemetry stream (or a PR 5 checkpoint journal) that another
+process may still be appending to, and renders a refreshing snapshot:
+points/s, resolution-tier mix, backend mix, retry/backoff totals,
+per-worker utilization and an ETA. Terminal failures and scheduler
+degradation surface immediately — a stalled sweep's stream explains
+itself instead of sitting silent.
+
+Reading is strictly passive (``TailReader`` on a read-only handle), so
+``repro top`` can watch a sweep owned by any process, and ``--once``
+prints a single snapshot — the post-mortem mode for a SIGKILL'd sweep's
+leftover stream.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from ..store import journal as journal_mod
+from .report import build_sweep_report, latest_sweep
+from .stream import SCHEMA, TailReader, parse_telemetry_line
+from .trace_export import write_chrome_trace
+
+
+def parse_journal_line(line: str) -> dict | None:
+    """One checkpoint-journal line as a synthetic progress record.
+
+    Valid journal lines (``store.journal.parse_line`` — the exact
+    discipline ``SweepJournal.load`` trusts) map to
+    ``{"ev": "journal_point", "key": ...}`` so the same follower
+    machinery counts them; everything else is skipped.
+    """
+    parsed = journal_mod.parse_line(line)
+    if parsed is None:
+        return None
+    return {"ev": "journal_point", "key": parsed[0]}
+
+
+def sniff_stream_kind(path: str) -> str | None:
+    """``"telemetry"``, ``"journal"``, or ``None`` (nothing valid yet).
+
+    Decided by the first parseable line's schema tag, so a follower
+    started before the sweep (empty or absent file) keeps sniffing
+    until the first record lands.
+    """
+    try:
+        with open(path, "rb") as fh:
+            head = fh.read(1 << 16)
+    except OSError:
+        return None
+    for raw in head.split(b"\n"):
+        line = raw.decode("utf-8", "replace").strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(record, dict):
+            continue
+        schema = record.get("schema")
+        if schema == SCHEMA:
+            return "telemetry"
+        if schema == journal_mod.SCHEMA:
+            return "journal"
+    return None
+
+
+class SweepProgress:
+    """Aggregated live view of one sweep, fed one record at a time.
+
+    Understands both telemetry records and the synthetic
+    ``journal_point`` records of journal mode. A fresh ``sweep_begin``
+    resets the view (one stream file can hold several sweeps).
+    """
+
+    def __init__(self):
+        self._reset()
+        self.kind = "journal"  # flips on the first telemetry record
+
+    def _reset(self) -> None:
+        self.begin = None
+        self.end = None
+        self.spans: dict = {}
+        self.tiers: dict = {}
+        self.backends: dict = {}
+        self.per_worker: dict = {}
+        self.retries = 0
+        self.backoff_s = 0.0
+        self.failures: list[dict] = []
+        self.degrades: list[str] = []
+        self.journal_keys: set = set()
+        self.first_t = None
+        self.last_t = None
+
+    def feed(self, record: dict) -> None:
+        """Fold one stream record into the view."""
+        ev = record.get("ev")
+        if ev == "journal_point":
+            self.journal_keys.add(record.get("key"))
+            return
+        self.kind = "telemetry"
+        if ev == "sweep_begin":
+            self._reset()
+            self.kind = "telemetry"
+            self.begin = record
+        t = record.get("t")
+        if t is not None:
+            self.first_t = t if self.first_t is None else self.first_t
+            self.last_t = t
+        if ev == "sweep_end":
+            self.end = record
+        elif ev == "point":
+            self.spans[record.get("idx")] = record
+            tier = record.get("tier")
+            self.tiers[tier] = self.tiers.get(tier, 0) + 1
+            backend = record.get("backend")
+            if backend:
+                self.backends[backend] = self.backends.get(backend, 0) + 1
+            worker = self.per_worker.setdefault(
+                record.get("pid"), {"points": 0, "busy_s": 0.0})
+            worker["points"] += 1
+            worker["busy_s"] += float(record.get("dur_s") or 0.0)
+        elif ev == "point_error":
+            self.failures.append(record)
+        elif ev == "retry":
+            self.retries += 1
+            self.backoff_s += float(record.get("delay_s") or 0.0)
+        elif ev == "degrade":
+            self.degrades.append(str(record.get("reason")))
+
+    # -- derived ----------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """Whether the followed sweep has emitted its terminal record."""
+        return self.end is not None
+
+    @property
+    def completed(self) -> int:
+        """Points resolved so far (spans, or journal lines in journal
+        mode)."""
+        if self.kind == "journal":
+            return len(self.journal_keys)
+        return len(self.spans)
+
+    def render(self, now: float | None = None) -> str:
+        """The multi-line progress snapshot for the terminal."""
+        if self.kind == "journal":
+            return (f"journal: {len(self.journal_keys)} points "
+                    f"checkpointed (no telemetry stream; totals unknown)")
+        begin = self.begin or {}
+        total = begin.get("points")
+        done = len(self.spans)
+        now = time.time() if now is None else now
+        start = begin.get("t", self.first_t)
+        wall = (self.end.get("t", now) if self.end is not None
+                else now) - (start or now)
+        wall = max(0.0, wall)
+        rate = done / wall if wall > 0 else 0.0
+        status = (self.end.get("status") if self.end is not None
+                  else "running")
+        head = f"sweep {begin.get('sweep', '?')} [{status}]"
+        if total:
+            head += f" {done}/{total} points ({done / total:.0%})"
+        else:
+            head += f" {done} points"
+        head += f" · {rate:.2f}/s · wall {wall:.1f}s"
+        if total and rate > 0 and self.end is None and done < total:
+            head += f" · ETA {(total - done) / rate:.1f}s"
+        lines = [head]
+        if self.tiers:
+            mix = " · ".join(f"{tier} {count}" for tier, count
+                             in sorted(self.tiers.items()))
+            lines.append(f"  tiers: {mix}")
+        if self.backends:
+            mix = " · ".join(f"{name} {count}" for name, count
+                             in sorted(self.backends.items()))
+            lines.append(f"  backends: {mix}")
+        busy = sum(w["busy_s"] for w in self.per_worker.values())
+        procs = max(1, len(self.per_worker))
+        util = busy / (procs * wall) if wall > 0 else 0.0
+        lines.append(f"  workers: {procs} · busy {busy:.1f}s · "
+                     f"utilization {util:.0%} · retries {self.retries} "
+                     f"(backoff {self.backoff_s:g}s)")
+        for reason in self.degrades:
+            lines.append(f"  DEGRADED: {reason}")
+        for failure in self.failures[-4:]:
+            lines.append(f"  FAILED point {failure.get('idx')} "
+                         f"[{failure.get('label')}] after "
+                         f"{failure.get('attempts')} attempt(s): "
+                         f"{failure.get('reason')}")
+        if (self.end is not None and self.end.get("status") == "error"
+                and self.end.get("error")):
+            lines.append(f"  SWEEP FAILED: {self.end['error']}")
+        return "\n".join(lines)
+
+
+def run_top(path: str, *, once: bool = False, interval: float = 2.0,
+            trace_out: str | None = None, report_out: str | None = None,
+            out=print, sleep=time.sleep, max_polls: int | None = None)\
+        -> int:
+    """Follow a telemetry/journal stream; render snapshots until done.
+
+    ``once`` prints a single snapshot of the stream as it stands
+    (mid-sweep or post-mortem) and exits. Otherwise the stream is
+    re-polled every ``interval`` seconds until the sweep's terminal
+    record arrives (``max_polls`` bounds the loop for tests; journal
+    streams have no terminal record, so follow mode runs until
+    interrupted). ``trace_out``/``report_out`` additionally write the
+    Perfetto export and the sweep-report from everything read —
+    telemetry streams only. Returns a process exit code.
+    """
+    kind = sniff_stream_kind(path)
+    parse = parse_journal_line if kind == "journal" else \
+        parse_telemetry_line
+    reader = TailReader(path, parse=parse)
+    progress = SweepProgress()
+    if kind == "journal":
+        progress.kind = "journal"
+    records: list[dict] = []
+    polls = 0
+    while True:
+        new = reader.poll()
+        records.extend(new)
+        for record in new:
+            progress.feed(record)
+        out(progress.render())
+        polls += 1
+        if once or progress.finished:
+            break
+        if max_polls is not None and polls >= max_polls:
+            break
+        sleep(interval)
+    if kind != "journal":
+        if trace_out is not None:
+            out(f"wrote {write_chrome_trace(records, trace_out)}")
+        if report_out is not None:
+            report = build_sweep_report(latest_sweep(records))
+            with open(report_out, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True,
+                          default=str)
+                fh.write("\n")
+            out(f"wrote {report_out}")
+    elif trace_out is not None or report_out is not None:
+        out("note: --trace-out/--report-out need a telemetry stream, "
+            "not a journal")
+    if kind is None:
+        out(f"note: no valid records in {path} yet")
+    return 0

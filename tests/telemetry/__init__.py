@@ -1,0 +1,1 @@
+"""Harness-telemetry tests: stream, spans, report, follower, crashes."""
