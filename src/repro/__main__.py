@@ -134,8 +134,9 @@ def _cmd_all(args) -> int:
 
 def _experiment_config(args) -> ExperimentConfig:
     common = dict(topology=args.topology, kx=args.kx, ky=args.ky,
-                  concentration=args.concentration, routing=args.routing,
-                  vc_policy=args.va, seed=args.seed)
+                  concentration=args.concentration, chiplets=args.chiplets,
+                  chiplet_link_latency=args.chiplet_link_latency,
+                  routing=args.routing, vc_policy=args.va, seed=args.seed)
     if args.benchmark:
         return ExperimentConfig(benchmark=args.benchmark,
                                 trace_cycles=args.cycles, **common)
@@ -390,12 +391,18 @@ def build_parser() -> argparse.ArgumentParser:
                             scheme_choices: list[str]) -> None:
         p.add_argument("--topology", default="mesh",
                        choices=["mesh", "cmesh", "fbfly", "mecs",
-                                "evc_mesh"])
+                                "chiplet", "kite", "evc_mesh"])
         p.add_argument("--kx", type=int, default=8)
         p.add_argument("--ky", type=int, default=8)
         p.add_argument("--concentration", type=int, default=1)
+        p.add_argument("--chiplets", type=int, default=4,
+                       help="chiplet topology: number of compute dies "
+                            "(default 4; --kx/--ky size each die)")
+        p.add_argument("--chiplet-link-latency", type=int, default=4,
+                       help="chiplet topology: wire latency of each "
+                            "die<->IO boundary link (default 4)")
         p.add_argument("--routing", default="xy",
-                       choices=["xy", "yx", "o1turn"])
+                       choices=["xy", "yx", "o1turn", "weighted"])
         p.add_argument("--va", default="dynamic",
                        choices=["dynamic", "static"])
         p.add_argument("--scheme", default=scheme_default,

@@ -36,6 +36,10 @@ class ExperimentConfig:
     kx: int = 4
     ky: int = 4
     concentration: int = 4
+    # Chiplet-only structure (ignored by other topologies): number of
+    # compute dies and the wire latency of each die<->IO boundary link.
+    chiplets: int = 4
+    chiplet_link_latency: int = 4
     routing: str = "o1turn"
     vc_policy: str = "dynamic"
     scheme: PseudoCircuitConfig = field(default_factory=PseudoCircuitConfig)
@@ -188,8 +192,10 @@ def build_network(config: ExperimentConfig, probe=None) -> Network:
         topo = EvcMesh(config.kx, config.ky, config.concentration)
         routing = EvcRouting(topo)
     else:
-        topo = make_topology(config.topology, config.kx, config.ky,
-                             config.concentration)
+        topo = make_topology(
+            config.topology, config.kx, config.ky, config.concentration,
+            chiplets=config.chiplets,
+            chiplet_link_latency=config.chiplet_link_latency)
         routing = config.routing
     kwargs = dict(routing=routing, vc_policy=config.vc_policy,
                   seed=config.seed, probe=probe)
@@ -299,8 +305,9 @@ def run_experiment(config: ExperimentConfig, *, use_cache: bool = True,
 #: Config fields every lane of one batch must share (the chip shape the
 #: replicated layout is built from). pattern/rate/packet_size/seed and
 #: the cycle/warmup windows may vary per lane.
-BATCH_KEY_FIELDS = ("topology", "kx", "ky", "concentration", "routing",
-                    "vc_policy", "scheme", "num_vcs", "buffer_depth")
+BATCH_KEY_FIELDS = ("topology", "kx", "ky", "concentration", "chiplets",
+                    "chiplet_link_latency", "routing", "vc_policy", "scheme",
+                    "num_vcs", "buffer_depth")
 
 
 def batch_key(config: ExperimentConfig):
@@ -366,8 +373,10 @@ def run_batch_experiments(configs, *, use_cache: bool = True,
     net_cfg = NetworkConfig(num_vcs=first.num_vcs,
                             buffer_depth=first.buffer_depth,
                             pseudo=first.scheme, mshrs=0)
-    topo = make_topology(first.topology, first.kx, first.ky,
-                         first.concentration)
+    topo = make_topology(
+        first.topology, first.kx, first.ky, first.concentration,
+        chiplets=first.chiplets,
+        chiplet_link_latency=first.chiplet_link_latency)
     from ..network.vectorized import BatchNetwork
     start = time.perf_counter()
     net = BatchNetwork(topo, net_cfg, routing=first.routing,
@@ -457,8 +466,12 @@ def backend_decision(config: ExperimentConfig, lanes: int = 1) -> dict:
             chosen = "vectorized"
         return {"chosen": chosen, "policy": policy, "reason": "explicit"}
     from ..network.backend import explain_choice
+    routers = config.kx * config.ky
+    if config.topology == "chiplet":
+        # K dies of kx*ky routers plus the IO die, each with terminals.
+        routers = config.chiplets * config.kx * config.ky + 1
     decision = explain_choice(
-        terminals=config.kx * config.ky * config.concentration,
+        terminals=routers * config.concentration,
         rate=config.rate if config.benchmark is None else None,
         pseudo=config.scheme.enabled, batch=lanes)
     decision["policy"] = "auto"

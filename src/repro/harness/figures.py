@@ -423,8 +423,65 @@ def table2(show: bool = True) -> list[dict]:
     return rows
 
 
+# ---------------------------------------------------------------------------
+# Chiplet boundary-latency study (beyond the paper: ROADMAP item 2)
+# ---------------------------------------------------------------------------
+
+CHIPLET_LINK_LATENCIES = (1, 2, 4, 8)
+
+
+def chiplet(link_latencies=CHIPLET_LINK_LATENCIES, chiplets: int = 4,
+            kx: int = 2, ky: int = 2, rate: float = 0.05,
+            cycles: int = 1500, seed: int = 1, show: bool = True,
+            max_workers: int | None = None) -> list[dict]:
+    """Pseudo-circuit recovery vs chiplet boundary-link latency.
+
+    The experiment the paper could not run: on a ``chiplets`` x
+    (``kx`` x ``ky``) chiplet system with weight-ordered routing and
+    static VA, sweep the die<->IO boundary wire latency and measure how
+    much of the added cross-die cost the pseudo-circuit scheme recovers.
+    ``recovered`` is the baseline-minus-pseudo latency gap at each
+    point; ``recovered_pct`` normalizes it by the baseline latency.
+    """
+    def _cfg(link_latency, scheme):
+        return ExperimentConfig(
+            topology="chiplet", kx=kx, ky=ky, concentration=1,
+            chiplets=chiplets, chiplet_link_latency=link_latency,
+            routing="weighted", vc_policy="static", scheme=scheme,
+            pattern="uniform", rate=rate, packet_size=5,
+            synth_cycles=cycles, synth_warmup=cycles // 4, seed=seed)
+    prefetch([_cfg(latency, scheme) for latency in link_latencies
+              for scheme in (BASELINE, PSEUDO_SB)],
+             max_workers=max_workers)
+    rows = []
+    for latency in link_latencies:
+        base = run_experiment(_cfg(latency, BASELINE))
+        pseudo = run_experiment(_cfg(latency, PSEUDO_SB))
+        recovered = base.avg_latency - pseudo.avg_latency
+        for name, res in (("Baseline", base), ("Pseudo+S+B", pseudo)):
+            rows.append({
+                "link_latency": latency, "scheme": name,
+                "latency": res.avg_latency,
+                "network_latency": res.avg_network_latency,
+                "reusability": res.reusability,
+                "recovered": recovered,
+                "recovered_pct": 100.0 * recovered / base.avg_latency,
+            })
+    if show:
+        print_table(
+            f"Chiplet boundary-latency study ({chiplets}x({kx}x{ky}) dies, "
+            "weighted routing + static VA, uniform traffic)",
+            ["link_lat", "scheme", "latency", "reuse", "recovered",
+             "recovered%"],
+            [(r["link_latency"], r["scheme"], r["latency"],
+              r["reusability"], r["recovered"], r["recovered_pct"])
+             for r in rows])
+    return rows
+
+
 ALL_FIGURES = {
     "fig1": fig1, "fig6": fig6, "fig8": fig8, "fig9": fig9,
     "fig10": fig10, "fig11": fig11, "fig12": fig12, "fig13": fig13,
     "fig14": fig14, "table1": table1, "table2": table2,
+    "chiplet": chiplet,
 }

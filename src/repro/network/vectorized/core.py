@@ -63,13 +63,14 @@ class VectorNetwork:
         self._np = np
         if not compiled_routing:
             raise BackendUnsupportedError(
-                "the vectorized backend requires compiled routing tables "
-                "(compiled_routing=True); use --backend scalar")
+                f"the vectorized backend requires compiled routing tables "
+                f"(compiled_routing=True) on topology {topology.name!r}; "
+                f"use --backend scalar")
         if config.arbiter_kind != "roundrobin":
             raise BackendUnsupportedError(
                 f"the vectorized backend supports only roundrobin "
-                f"arbiters, not {config.arbiter_kind!r}; use "
-                f"--backend scalar")
+                f"arbiters, not {config.arbiter_kind!r} (topology "
+                f"{topology.name!r}); use --backend scalar")
         self.topology = topology
         self.config = config
         if isinstance(routing, str):
@@ -81,21 +82,22 @@ class VectorNetwork:
         if vc_policy.name not in ("dynamic", "static"):
             raise BackendUnsupportedError(
                 f"the vectorized backend supports only the dynamic and "
-                f"static VC policies, not {vc_policy.name!r}; use "
-                f"--backend scalar")
+                f"static VC policies, not {vc_policy.name!r} (topology "
+                f"{topology.name!r}); use --backend scalar")
         self._static_vc = vc_policy.name == "static"
         for channel in topology.channels():
             if len(channel.endpoints) != 1:
                 raise BackendUnsupportedError(
-                    "the vectorized backend supports only point-to-point "
-                    "channels (one endpoint); use --backend scalar")
+                    f"the vectorized backend supports only point-to-point "
+                    f"channels (one endpoint); topology {topology.name!r} "
+                    f"has multidrop channels — use --backend scalar")
         self.compiled_routing = compile_routing(routing, topology,
                                                 config.num_vcs)
         if self.compiled_routing is None:
             raise BackendUnsupportedError(
                 f"the vectorized backend requires a tabulable routing "
-                f"algorithm; {type(routing).__name__} is dynamic-only — "
-                f"use --backend scalar")
+                f"algorithm; {type(routing).__name__} is dynamic-only on "
+                f"topology {topology.name!r} — use --backend scalar")
         self.stats = stats if stats is not None else NetworkStats()
         self.rng = random.Random(seed)
         self.cycle = 0
@@ -472,9 +474,9 @@ class VectorNetwork:
             raise BackendUnsupportedError(
                 f"the vectorized backend cannot drive "
                 f"{type(probe).__name__}: per-flit event instrumentation "
-                f"(e.g. Chrome tracing) needs the scalar core — use "
-                f"--backend scalar, or a vector-aware probe such as "
-                f"VectorSeriesProbe")
+                f"(e.g. Chrome tracing) needs the scalar core (topology "
+                f"{self.topology.name!r}) — use --backend scalar, or a "
+                f"vector-aware probe such as VectorSeriesProbe")
         probe.bind(self)
         self.probe = probe
         self._vprobe = probe

@@ -149,8 +149,9 @@ def build_layout(topology: Topology, config: NetworkConfig,
     if route_drop.size and route_drop.any():
         from ..backend import BackendUnsupportedError
         raise BackendUnsupportedError(
-            "the vectorized backend supports only point-to-point "
-            "channels (drop index 0); use --backend scalar")
+            f"the vectorized backend supports only point-to-point "
+            f"channels (drop index 0); topology {topology.name!r} routes "
+            f"over multidrop endpoints — use --backend scalar")
     route_lo = np.array([lo for lo, _ in compiled.vc_ranges],
                         dtype=np.int64)
     route_hi = np.array([hi for _, hi in compiled.vc_ranges],

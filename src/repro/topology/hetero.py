@@ -1,0 +1,167 @@
+"""Heterogeneous topology base: an explicit router graph with per-channel
+latency and weight.
+
+Regular topologies (mesh, cmesh, fbfly, mecs) derive their channel lists
+from closed-form grid math. Chiplet systems and gem5-style irregular
+meshes cannot: their link set is an explicit graph where every channel
+carries its own wire latency (the ``Endpoint.latency`` seam the scalar
+and vectorized cores already honour per channel) and its own routing
+*weight* (the gem5 link-class notion that weight-ordered routing
+minimizes over).
+
+``HeterogeneousTopology`` holds that graph. Channels are registered with
+:meth:`add_channel`; the output port on the source router and the input
+port on the destination router are assigned in registration order, so
+the port numbering of a concrete subclass is exactly its construction
+order (documented per topology in docs/TOPOLOGIES.md). All channels are
+point-to-point — multidrop stays a MECS-only concept.
+
+Subclasses that need deadlock-avoidance VC classes (chiplet separates
+intra-die from cross-die traffic) override ``num_route_classes`` and
+:meth:`route_class`; weight-ordered routing maps route classes onto
+``packet.route_choice`` and disjoint VC windows, mirroring O1TURN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import Channel, Endpoint, Topology
+
+
+@dataclass(frozen=True)
+class OutChannel:
+    """One outgoing point-to-point channel of a router."""
+
+    src_port: int
+    dst_router: int
+    dst_port: int
+    latency: int
+    weight: int
+
+
+class HeterogeneousTopology(Topology):
+    """Arbitrary directed router graph with per-channel latency/weight."""
+
+    name = "hetero"
+    #: Deadlock-avoidance classes weight-ordered routing must separate
+    #: (1 = a single VC window spanning all VCs).
+    num_route_classes = 1
+
+    def __init__(self, num_routers: int, concentration: int = 1):
+        if num_routers < 1:
+            raise ValueError("need at least one router")
+        if concentration < 1:
+            raise ValueError("concentration must be >= 1")
+        self._num_routers = num_routers
+        self._concentration = concentration
+        self._out: list[list[OutChannel]] = [[] for _ in range(num_routers)]
+        self._in_count = [0] * num_routers
+        self._hops_cache: dict[int, list[int]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_channel(self, src: int, dst: int, *, latency: int = 1,
+                    weight: int = 1) -> OutChannel:
+        """Register a unidirectional channel ``src -> dst``.
+
+        Returns the :class:`OutChannel` record carrying the assigned
+        ports. Latency is the wire delay in cycles; weight is the
+        routing cost weight-ordered routing minimizes.
+        """
+        for router in (src, dst):
+            if not 0 <= router < self._num_routers:
+                raise ValueError(f"router {router} out of range "
+                                 f"(<{self._num_routers})")
+        if src == dst:
+            raise ValueError("self-channels are not allowed")
+        if latency < 1:
+            raise ValueError("channel latency must be >= 1")
+        if weight < 1:
+            raise ValueError("channel weight must be >= 1")
+        chan = OutChannel(src_port=len(self._out[src]), dst_router=dst,
+                          dst_port=self._in_count[dst], latency=latency,
+                          weight=weight)
+        self._out[src].append(chan)
+        self._in_count[dst] += 1
+        self._hops_cache.clear()
+        return chan
+
+    def add_duplex(self, a: int, b: int, *, latency: int = 1,
+                   weight: int = 1) -> tuple[OutChannel, OutChannel]:
+        """Register the channel pair ``a -> b`` and ``b -> a``."""
+        return (self.add_channel(a, b, latency=latency, weight=weight),
+                self.add_channel(b, a, latency=latency, weight=weight))
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def num_routers(self) -> int:
+        return self._num_routers
+
+    @property
+    def concentration(self) -> int:
+        return self._concentration
+
+    def num_network_inports(self, router: int) -> int:
+        return self._in_count[router]
+
+    def num_network_outports(self, router: int) -> int:
+        return len(self._out[router])
+
+    # -- channels ------------------------------------------------------------
+
+    def channels(self) -> list[Channel]:
+        return [Channel(src_router=r, src_port=c.src_port,
+                        endpoints=(Endpoint(router=c.dst_router,
+                                            in_port=c.dst_port,
+                                            latency=c.latency),))
+                for r in range(self._num_routers)
+                for c in self._out[r]]
+
+    def out_channels(self, router: int) -> list[OutChannel]:
+        """Outgoing channels of ``router`` in output-port order."""
+        if not 0 <= router < self._num_routers:
+            raise ValueError(f"router {router} out of range")
+        return list(self._out[router])
+
+    def link_weight(self, router: int, out_port: int) -> int:
+        """Routing weight of the channel behind ``(router, out_port)``."""
+        return self._out[router][out_port].weight
+
+    # -- routing hooks -------------------------------------------------------
+
+    def route_class(self, src_router: int, dst_router: int) -> int:
+        """Deadlock-avoidance class of traffic ``src_router -> dst_router``
+        (always < ``num_route_classes``)."""
+        return 0
+
+    # -- distances -----------------------------------------------------------
+
+    def min_hops(self, src_router: int, dst_router: int) -> int:
+        for router in (src_router, dst_router):
+            if not 0 <= router < self._num_routers:
+                raise ValueError(f"router {router} out of range")
+        hops = self._hops_cache.get(src_router)
+        if hops is None:
+            hops = self._bfs(src_router)
+            self._hops_cache[src_router] = hops
+        h = hops[dst_router]
+        if h < 0:
+            raise ValueError(f"router {dst_router} unreachable from "
+                             f"{src_router}")
+        return h
+
+    def _bfs(self, src: int) -> list[int]:
+        hops = [-1] * self._num_routers
+        hops[src] = 0
+        frontier = [src]
+        while frontier:
+            nxt = []
+            for r in frontier:
+                for c in self._out[r]:
+                    if hops[c.dst_router] < 0:
+                        hops[c.dst_router] = hops[r] + 1
+                        nxt.append(c.dst_router)
+            frontier = nxt
+        return hops

@@ -1,0 +1,81 @@
+"""Kite irregular mesh: a grid with skip-2 express channels.
+
+Mirrors the gem5 Kite-family configs (``KiteLarge_EWMC.py``): a regular
+``kx`` x ``ky`` mesh augmented with express channels that skip every
+other router, each express link carrying its own latency and routing
+weight override. Express wires are physically longer, so they cost
+latency 2 instead of 1 — the per-channel latency heterogeneity this
+topology exercises.
+
+Weights are chosen so that weight-ordered routing degenerates to
+x-then-y dimension order, with express links preferred whenever they
+are aligned:
+
+* base x links: weight 1, express x (span 2): weight 2 — the same
+  weight per column crossed, so the minimum-weight distance stays the
+  Manhattan metric and the hop-count tie-break picks express links;
+* base y links: weight 2, express y (span 2): weight 4 — likewise, and
+  strictly heavier than any x link, so the per-router (weight, port)
+  selection exhausts x progress before turning.
+
+Express channels exist in *every* row and column (when the dimension is
+long enough to span), so taking one never requires a detour; the routing
+tables therefore keep the x-before-y phase structure whose
+channel-dependency graph is acyclic with a single VC class —
+weight-ordered routing re-verifies this at construction.
+
+Port numbering is registration order: routers in id order each register
+their +x duplex link, +x express duplex (from even x), +y duplex, then
++y express duplex (from even y). ``out_channels(router)`` is the
+authoritative per-router map.
+"""
+
+from __future__ import annotations
+
+from .hetero import HeterogeneousTopology
+
+X_WEIGHT = 1
+X_EXPRESS_WEIGHT = 2
+Y_WEIGHT = 2
+Y_EXPRESS_WEIGHT = 4
+EXPRESS_SPAN = 2
+EXPRESS_LATENCY = 2
+
+
+class KiteMesh(HeterogeneousTopology):
+    """``kx`` x ``ky`` mesh plus skip-2 express channels."""
+
+    name = "kite"
+
+    def __init__(self, kx: int = 4, ky: int = 4, concentration: int = 1):
+        if kx < 2 or ky < 2:
+            raise ValueError("kite needs at least a 2x2 base mesh")
+        self.kx = kx
+        self.ky = ky
+        super().__init__(kx * ky, concentration)
+        for r in range(kx * ky):
+            x, y = self.coords(r)
+            if x + 1 < kx:
+                self.add_duplex(r, self.router_at(x + 1, y),
+                                latency=1, weight=X_WEIGHT)
+            if x % 2 == 0 and x + EXPRESS_SPAN < kx:
+                self.add_duplex(r, self.router_at(x + EXPRESS_SPAN, y),
+                                latency=EXPRESS_LATENCY,
+                                weight=X_EXPRESS_WEIGHT)
+            if y + 1 < ky:
+                self.add_duplex(r, self.router_at(x, y + 1),
+                                latency=1, weight=Y_WEIGHT)
+            if y % 2 == 0 and y + EXPRESS_SPAN < ky:
+                self.add_duplex(r, self.router_at(x, y + EXPRESS_SPAN),
+                                latency=EXPRESS_LATENCY,
+                                weight=Y_EXPRESS_WEIGHT)
+
+    def coords(self, router: int) -> tuple[int, int]:
+        if not 0 <= router < self.num_routers:
+            raise ValueError(f"router {router} out of range")
+        return router % self.kx, router // self.kx
+
+    def router_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.kx and 0 <= y < self.ky):
+            raise ValueError(f"coordinates ({x},{y}) out of range")
+        return y * self.kx + x

@@ -1,0 +1,110 @@
+"""Documentation drift check: ``docs/TOPOLOGIES.md`` must cover the real
+topology registry.
+
+The gallery is only useful while it matches what ``make_topology`` can
+actually build, so this test walks ``TOPOLOGY_REGISTRY`` — every
+topology name, constructor flag, supported routing and backend — and
+asserts each appears in that topology's section of the doc. It also
+checks the registry itself against the factories: every registry name
+constructs, every advertised routing accepts the topology, and no
+section documents a topology the registry does not know.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.network.backend import CONCRETE_BACKENDS
+from repro.routing import make_routing
+from repro.topology import TOPOLOGY_REGISTRY, make_topology
+
+DOC_PATH = os.path.join(os.path.dirname(__file__), "..", "..", "docs",
+                        "TOPOLOGIES.md")
+
+
+def _doc_text():
+    with open(DOC_PATH, encoding="utf-8") as fh:
+        return fh.read()
+
+
+def _sections():
+    """Map ``## `name``` heading -> section body."""
+    doc = _doc_text()
+    parts = re.split(r"^## `([^`]+)`.*$", doc, flags=re.MULTILINE)
+    return dict(zip(parts[1::2], parts[2::2]))
+
+
+class TestDocCoversRegistry:
+    def test_doc_exists(self):
+        assert os.path.exists(DOC_PATH), "docs/TOPOLOGIES.md is missing"
+
+    def test_every_topology_has_a_section(self):
+        sections = _sections()
+        for name in TOPOLOGY_REGISTRY:
+            assert name in sections, (
+                f"topology {name!r} has no `## \\`{name}\\`` section in "
+                f"docs/TOPOLOGIES.md")
+
+    def test_doc_does_not_invent_topologies(self):
+        for name in _sections():
+            assert name in TOPOLOGY_REGISTRY, (
+                f"docs/TOPOLOGIES.md documents unknown topology {name!r}")
+
+    def test_sections_name_flags_routings_and_backends(self):
+        sections = _sections()
+        for name, info in TOPOLOGY_REGISTRY.items():
+            body = sections[name]
+            for flag in info.flags:
+                assert flag in body, (name, flag)
+            for routing in info.routings:
+                assert f"`{routing}`" in body, (name, routing)
+            for backend in info.backends:
+                assert f"`{backend}`" in body, (name, backend)
+
+    def test_every_section_has_a_diagram(self):
+        for name, body in _sections().items():
+            assert "```" in body, (
+                f"section {name!r} lacks an ASCII diagram code block")
+
+
+class TestRegistryMatchesFactories:
+    @pytest.mark.parametrize("name", sorted(TOPOLOGY_REGISTRY))
+    def test_registry_name_constructs(self, name):
+        topo = make_topology(name, 4, 4, 4)
+        assert topo.name == name
+        assert topo.num_routers >= 1
+
+    @pytest.mark.parametrize("name", sorted(TOPOLOGY_REGISTRY))
+    def test_advertised_routings_accept_the_topology(self, name):
+        topo = make_topology(name, 4, 4, 4)
+        for routing in TOPOLOGY_REGISTRY[name].routings:
+            assert make_routing(routing, topo) is not None
+
+    def test_advertised_backends_are_real(self):
+        for info in TOPOLOGY_REGISTRY.values():
+            assert set(info.backends) <= set(CONCRETE_BACKENDS)
+            assert "scalar" in info.backends
+
+    def test_multidrop_topologies_exclude_vector_backends(self):
+        for info in TOPOLOGY_REGISTRY.values():
+            if info.multidrop:
+                assert info.backends == ("scalar",)
+
+    def test_unknown_name_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            make_topology("torus", 4, 4)
+
+    def test_registry_flags_exist_on_the_cli(self):
+        from repro.__main__ import build_parser
+        parser = build_parser()
+        run_parser = None
+        import argparse
+        for action in parser._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                run_parser = action.choices["run"]
+        cli_flags = {opt for action in run_parser._actions
+                     for opt in action.option_strings}
+        for info in TOPOLOGY_REGISTRY.values():
+            for flag in info.flags:
+                assert flag in cli_flags, flag

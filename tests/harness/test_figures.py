@@ -24,6 +24,6 @@ def test_table2_shares_sum_to_one():
 
 def test_every_figure_has_an_entry_point():
     expected = {"fig1", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12",
-                "fig13", "fig14", "table1", "table2"}
+                "fig13", "fig14", "table1", "table2", "chiplet"}
     assert set(ALL_FIGURES) == expected
     assert all(callable(fn) for fn in ALL_FIGURES.values())

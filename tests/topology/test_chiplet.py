@@ -1,0 +1,85 @@
+"""ChipletTopology: K sub-meshes star-connected to a central IO die."""
+
+import pytest
+
+from repro.topology.chiplet import BOUNDARY_WEIGHT, ChipletTopology
+
+
+class TestStructure:
+    def test_router_count_includes_io_die(self):
+        topo = ChipletTopology(2, 2, chiplets=4)
+        assert topo.num_routers == 4 * 4 + 1
+        assert topo.io_router == 16
+
+    def test_boundary_links_connect_gateways_to_io(self):
+        topo = ChipletTopology(2, 2, chiplets=3, chiplet_link_latency=5)
+        boundary = [c for c in topo.channels()
+                    if topo.io_router in (c.src_router,
+                                          c.endpoints[0].router)]
+        # one duplex pair per die
+        assert len(boundary) == 2 * 3
+        for chan in boundary:
+            assert chan.endpoints[0].latency == 5
+        sources = {c.src_router for c in boundary}
+        assert sources == {topo.gateway(d) for d in range(3)} | {
+            topo.io_router}
+
+    def test_intra_die_links_are_latency_1(self):
+        topo = ChipletTopology(2, 2, chiplets=2, chiplet_link_latency=8)
+        internal = [c for c in topo.channels()
+                    if topo.io_router not in (c.src_router,
+                                              c.endpoints[0].router)]
+        assert internal
+        assert all(c.endpoints[0].latency == 1 for c in internal)
+
+    def test_boundary_weight_heavier_than_mesh_links(self):
+        topo = ChipletTopology(2, 2, chiplets=2)
+        gw = topo.gateway(0)
+        weights = {c.weight for c in topo.out_channels(gw)}
+        assert BOUNDARY_WEIGHT in weights
+        assert max(w for w in weights if w != BOUNDARY_WEIGHT) \
+            < BOUNDARY_WEIGHT
+
+    def test_die_of_and_local_coords(self):
+        topo = ChipletTopology(3, 2, chiplets=2)
+        assert topo.die_of(0) == 0
+        assert topo.die_of(6) == 1
+        assert topo.die_of(topo.io_router) is None
+        assert topo.local_coords(topo.router_id(1, 2, 1)) == (2, 1)
+        with pytest.raises(ValueError, match="IO router"):
+            topo.local_coords(topo.io_router)
+
+    def test_no_input_port_wired_twice(self):
+        topo = ChipletTopology(2, 2, chiplets=4)
+        seen = set()
+        for chan in topo.channels():
+            ep = chan.endpoints[0]
+            key = (ep.router, ep.in_port)
+            assert key not in seen
+            seen.add(key)
+
+    def test_io_router_has_terminals_like_any_other(self):
+        topo = ChipletTopology(2, 2, concentration=2, chiplets=2)
+        assert topo.num_terminals == 9 * 2
+        assert topo.terminal_router(topo.num_terminals - 1) == topo.io_router
+
+
+class TestRouteClasses:
+    def test_same_die_is_class_0_cross_die_class_1(self):
+        topo = ChipletTopology(2, 2, chiplets=2)
+        assert topo.num_route_classes == 2
+        assert topo.route_class(0, 3) == 0
+        assert topo.route_class(0, 4) == 1
+        assert topo.route_class(4, topo.io_router) == 1
+        assert topo.route_class(topo.io_router, topo.io_router) == 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(kx=0), dict(ky=0), dict(chiplets=0),
+        dict(chiplet_link_latency=0)])
+    def test_bad_parameters_rejected(self, kwargs):
+        params = dict(kx=2, ky=2, chiplets=2, chiplet_link_latency=4)
+        params.update(kwargs)
+        with pytest.raises(ValueError):
+            ChipletTopology(**params)

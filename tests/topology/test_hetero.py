@@ -1,0 +1,99 @@
+"""HeterogeneousTopology: explicit graphs with per-channel latency/weight."""
+
+import pytest
+
+from repro.topology.base import Channel
+from repro.topology.hetero import HeterogeneousTopology
+
+
+def ring(n=4, latency=1, weight=1):
+    topo = HeterogeneousTopology(n)
+    for r in range(n):
+        topo.add_duplex(r, (r + 1) % n, latency=latency, weight=weight)
+    return topo
+
+
+class TestConstruction:
+    def test_ports_assigned_in_registration_order(self):
+        topo = HeterogeneousTopology(3)
+        a = topo.add_channel(0, 1)
+        b = topo.add_channel(0, 2)
+        c = topo.add_channel(2, 1)
+        assert (a.src_port, a.dst_port) == (0, 0)
+        assert (b.src_port, b.dst_port) == (1, 0)
+        assert (c.src_port, c.dst_port) == (0, 1)
+        assert topo.num_network_outports(0) == 2
+        assert topo.num_network_inports(1) == 2
+        assert topo.num_network_inports(0) == 0
+
+    def test_channels_carry_latency(self):
+        topo = HeterogeneousTopology(2)
+        topo.add_channel(0, 1, latency=7, weight=3)
+        (chan,) = topo.channels()
+        assert isinstance(chan, Channel)
+        assert chan.endpoints[0].latency == 7
+        assert topo.link_weight(0, 0) == 3
+
+    def test_duplex_registers_both_directions(self):
+        topo = HeterogeneousTopology(2)
+        topo.add_duplex(0, 1, latency=2)
+        assert topo.num_network_outports(0) == 1
+        assert topo.num_network_outports(1) == 1
+        assert {(c.src_router, c.endpoints[0].router)
+                for c in topo.channels()} == {(0, 1), (1, 0)}
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(latency=0), dict(weight=0)])
+    def test_invalid_channel_parameters_rejected(self, kwargs):
+        topo = HeterogeneousTopology(2)
+        with pytest.raises(ValueError):
+            topo.add_channel(0, 1, **kwargs)
+
+    def test_self_channel_rejected(self):
+        with pytest.raises(ValueError, match="self-channel"):
+            HeterogeneousTopology(2).add_channel(1, 1)
+
+    def test_out_of_range_router_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            HeterogeneousTopology(2).add_channel(0, 2)
+
+
+class TestTerminals:
+    def test_terminal_ports_follow_network_ports(self):
+        topo = HeterogeneousTopology(2, concentration=2)
+        topo.add_duplex(0, 1)
+        # network inport count is 1, so terminals use ports 1 and 2.
+        assert topo.injection_port(0) == 1
+        assert topo.injection_port(1) == 2
+        assert topo.ejection_port(2) == 1
+        assert topo.num_terminals == 4
+
+
+class TestDistances:
+    def test_min_hops_on_ring(self):
+        topo = ring(6)
+        assert topo.min_hops(0, 3) == 3
+        assert topo.min_hops(0, 5) == 1
+        assert topo.min_hops(2, 2) == 0
+
+    def test_min_hops_cache_invalidated_by_new_channel(self):
+        topo = ring(6)
+        assert topo.min_hops(0, 3) == 3
+        topo.add_duplex(0, 3)
+        assert topo.min_hops(0, 3) == 1
+
+    def test_unreachable_router_raises(self):
+        topo = HeterogeneousTopology(3)
+        topo.add_channel(0, 1)
+        with pytest.raises(ValueError, match="unreachable"):
+            topo.min_hops(0, 2)
+
+    def test_average_hops_runs(self):
+        assert ring(4).average_hops() > 0
+
+
+class TestRoutingHooks:
+    def test_single_route_class_by_default(self):
+        topo = ring(4)
+        assert topo.num_route_classes == 1
+        assert topo.route_class(0, 3) == 0

@@ -1,0 +1,79 @@
+"""KiteMesh: irregular mesh with skip-2 express channels."""
+
+import pytest
+
+from repro.topology.kite import (EXPRESS_LATENCY, EXPRESS_SPAN, KiteMesh,
+                                 X_EXPRESS_WEIGHT, X_WEIGHT)
+
+
+def express_channels(topo):
+    out = []
+    for chan in topo.channels():
+        sx, sy = topo.coords(chan.src_router)
+        dx, dy = topo.coords(chan.endpoints[0].router)
+        if abs(sx - dx) + abs(sy - dy) > 1:
+            out.append(chan)
+    return out
+
+
+class TestStructure:
+    def test_small_kite_degenerates_to_mesh(self):
+        assert express_channels(KiteMesh(2, 2)) == []
+
+    def test_express_channels_span_two_and_cost_two(self):
+        topo = KiteMesh(4, 4)
+        express = express_channels(topo)
+        assert express
+        for chan in express:
+            sx, sy = topo.coords(chan.src_router)
+            dx, dy = topo.coords(chan.endpoints[0].router)
+            assert abs(sx - dx) + abs(sy - dy) == EXPRESS_SPAN
+            assert chan.endpoints[0].latency == EXPRESS_LATENCY
+
+    def test_base_links_are_latency_1(self):
+        topo = KiteMesh(4, 4)
+        express = {(c.src_router, c.src_port) for c in express_channels(topo)}
+        for chan in topo.channels():
+            if (chan.src_router, chan.src_port) not in express:
+                assert chan.endpoints[0].latency == 1
+
+    def test_express_weight_matches_spanned_base_weight(self):
+        # Weight per column crossed must be equal so the minimum-weight
+        # metric stays Manhattan and express wins only on hop count.
+        assert X_EXPRESS_WEIGHT == EXPRESS_SPAN * X_WEIGHT
+
+    def test_every_row_has_x_express_when_wide_enough(self):
+        topo = KiteMesh(5, 3)
+        rows = {topo.coords(c.src_router)[1]
+                for c in express_channels(topo)
+                if topo.coords(c.src_router)[1]
+                == topo.coords(c.endpoints[0].router)[1]}
+        assert rows == set(range(3))
+
+    def test_no_input_port_wired_twice(self):
+        topo = KiteMesh(5, 4)
+        seen = set()
+        for chan in topo.channels():
+            ep = chan.endpoints[0]
+            assert (ep.router, ep.in_port) not in seen
+            seen.add((ep.router, ep.in_port))
+
+
+class TestGeometry:
+    def test_coords_roundtrip(self):
+        topo = KiteMesh(4, 3)
+        for r in range(topo.num_routers):
+            x, y = topo.coords(r)
+            assert topo.router_at(x, y) == r
+
+    def test_min_hops_uses_express(self):
+        topo = KiteMesh(5, 2)
+        # (0,0) -> (4,0): two express hops, not four base hops.
+        assert topo.min_hops(topo.router_at(0, 0),
+                             topo.router_at(4, 0)) == 2
+
+
+class TestValidation:
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            KiteMesh(1, 4)
